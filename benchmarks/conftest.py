@@ -1,0 +1,66 @@
+"""Benchmark fixtures: shared configuration plus a results collector.
+
+Every benchmark regenerates one of the paper's tables or figures.  Besides
+the pytest-benchmark timing, each test renders its rows through the
+``record`` fixture; at the end of the session everything is written to
+``benchmarks/RESULTS.md`` so the paper-vs-measured comparison of
+EXPERIMENTS.md can be refreshed from one run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.core.config import derive_configuration
+from repro.operators.library import default_library
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "RESULTS.md")
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library(names=("Diff", "S-NN", "NN", "Motion", "License",
+                                  "OCR"))
+
+
+@pytest.fixture(scope="session")
+def full_library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def configuration(library):
+    return derive_configuration(library)
+
+
+class _Recorder:
+    def __init__(self):
+        self.sections: Dict[str, List[str]] = {}
+
+    def __call__(self, section: str, text: str) -> None:
+        self.sections.setdefault(section, []).append(text)
+
+    def render(self) -> str:
+        parts = ["# Benchmark results (regenerated)\n"]
+        for section in sorted(self.sections):
+            parts.append(f"\n## {section}\n")
+            parts.extend(f"```\n{text}\n```\n"
+                         for text in self.sections[section])
+        return "".join(parts)
+
+
+@pytest.fixture(scope="session")
+def _recorder():
+    recorder = _Recorder()
+    yield recorder
+    if recorder.sections:
+        with open(RESULTS_PATH, "w") as f:
+            f.write(recorder.render())
+
+
+@pytest.fixture()
+def record(_recorder):
+    return _recorder

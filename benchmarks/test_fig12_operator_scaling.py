@@ -1,0 +1,37 @@
+"""Figure 12: transcoding cost does not scale up with operator count.
+
+Adding operators to the library (in Table 2 order) grows the ingestion
+cost only until the storage-format set covers the demand space; further
+operators share existing formats and the cost plateaus.
+"""
+
+from repro.core.config import derive_configuration
+from repro.operators.library import TABLE2_ORDER, default_library
+
+
+def test_fig12_ingest_cost_plateaus(benchmark, record):
+    def sweep():
+        rows = []
+        for n in range(1, len(TABLE2_ORDER) + 1):
+            library = default_library(names=TABLE2_ORDER[:n])
+            config = derive_configuration(library)
+            rows.append((n, TABLE2_ORDER[n - 1],
+                         config.plan.ingest_cores * 100.0,
+                         len(config.plan.formats)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'#ops':>5} {'added':>9} {'CPU %':>8} {'#SFs':>5}"]
+    for n, op, cpu, sfs in rows:
+        lines.append(f"{n:>5} {op:>9} {cpu:>8.0f} {sfs:>5}")
+    record("Figure 12 — operator scaling", "\n".join(lines))
+
+    cpus = [r[2] for r in rows]
+    # The cost stabilizes in the tail: the last additions are cheap
+    # relative to the growth at the head (the paper's plateau beyond 5).
+    head_growth = max(cpus[:5]) - min(cpus[:5])
+    tail_growth = max(cpus[5:]) - min(cpus[5:])
+    assert tail_growth <= max(head_growth, 0.35 * max(cpus))
+    # And the last operator adds almost nothing.
+    assert cpus[-1] <= cpus[-2] * 1.25 + 1.0

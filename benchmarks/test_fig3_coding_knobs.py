@@ -1,0 +1,83 @@
+"""Figure 3: impacts of coding knobs on a 100-second tucson clip.
+
+(a) speed step trades encoding speed (~40x range) against video size
+    (~2.5x range), with decoding mildly affected;
+(b) keyframe interval trades video size against decode-time chunk skipping
+    when the consumer samples sparsely.
+"""
+
+from fractions import Fraction
+
+from repro.codec.model import DEFAULT_CODEC
+from repro.ingest.pipeline import IngestionPipeline
+from repro.clock import SimClock
+from repro.video.coding import Coding, KEYFRAME_INTERVALS, SPEED_STEPS
+from repro.video.fidelity import richest_fidelity
+
+CLIP_SECONDS = 100.0
+
+
+def _tucson_activity() -> float:
+    return IngestionPipeline(
+        "tucson", [], clock=SimClock()
+    ).mean_activity()
+
+
+def test_fig3a_speed_step(benchmark, record):
+    fid = richest_fidelity()
+    activity = _tucson_activity()
+
+    def sweep():
+        rows = []
+        for step in SPEED_STEPS:
+            coding = Coding(step, 250)
+            rows.append((
+                step,
+                DEFAULT_CODEC.encode_speed(fid, coding),
+                DEFAULT_CODEC.decode_speed(fid, coding),
+                DEFAULT_CODEC.encoded_bytes_per_second(fid, coding, activity)
+                * CLIP_SECONDS / 2**20,
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    lines = [f"{'step':>8} {'encode':>9} {'decode':>9} {'size(MB)':>9}"]
+    for step, enc, dec, size in rows:
+        lines.append(f"{step:>8} {enc:>8.1f}x {dec:>8.1f}x {size:>9.1f}")
+    record("Figure 3a — speed step", "\n".join(lines))
+
+    encodes = [r[1] for r in rows]
+    sizes = [r[3] for r in rows]
+    assert encodes[-1] / encodes[0] > 30  # ~40x encode-speed range
+    assert 2.0 < sizes[-1] / sizes[0] < 3.0  # ~2.5x size range
+
+
+def test_fig3b_keyframe_interval(benchmark, record):
+    fid = richest_fidelity()
+    activity = _tucson_activity()
+
+    def sweep():
+        rows = []
+        for kf in sorted(KEYFRAME_INTERVALS, reverse=True):
+            coding = Coding("slowest", kf)
+            rows.append((
+                kf,
+                DEFAULT_CODEC.decode_speed(fid, coding, Fraction(1, 30)),
+                DEFAULT_CODEC.decode_speed(fid, coding, Fraction(1)),
+                DEFAULT_CODEC.encoded_bytes_per_second(fid, coding, activity)
+                * CLIP_SECONDS / 2**20,
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    lines = [f"{'kf':>5} {'dec@1/30':>9} {'dec@1':>9} {'size(MB)':>9}"]
+    for kf, sparse, dense, size in rows:
+        lines.append(f"{kf:>5} {sparse:>8.0f}x {dense:>8.1f}x {size:>9.1f}")
+    record("Figure 3b — keyframe interval", "\n".join(lines))
+
+    sparse_speeds = [r[1] for r in rows]
+    sizes = [r[3] for r in rows]
+    # Smaller intervals decode several-fold faster under sparse sampling...
+    assert sparse_speeds[-1] > 4 * sparse_speeds[0]
+    # ...at the cost of a larger encoded video.
+    assert sizes[-1] > 1.5 * sizes[0]

@@ -1,0 +1,110 @@
+"""Figure 4: fidelity knobs have high, complex impacts on component costs
+and operator accuracy — one knob varied per panel, all others fixed.
+
+(a) crop factor / Motion, (b) image quality / License,
+(c) frame sampling / S-NN, (d) frame sampling / NN.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.codec.model import DEFAULT_CODEC
+from repro.profiler.profiler import OperatorProfiler
+from repro.video.coding import Coding
+from repro.video.fidelity import CROP_FACTORS, Fidelity, QUALITIES, SAMPLING_RATES
+
+CODING = Coding("med", 250)
+
+
+def _costs(fid):
+    """(ingestion, storage, retrieval, consumption-reciprocal) axes."""
+    ingest = DEFAULT_CODEC.encode_seconds_per_video_second(fid, CODING)
+    storage = DEFAULT_CODEC.encoded_bytes_per_second(fid, CODING, 0.4)
+    retrieval = 1.0 / DEFAULT_CODEC.decode_speed(fid, CODING)
+    return ingest, storage, retrieval
+
+
+def _sweep(profiler, operator, fidelities):
+    rows = []
+    for fid in fidelities:
+        profile = profiler.profile(operator, fid)
+        ingest, storage, retrieval = _costs(fid)
+        rows.append((fid.label, profile.accuracy, ingest, storage, retrieval,
+                     1.0 / profile.consumption_speed))
+    return rows
+
+
+def _render(rows):
+    lines = [f"{'fidelity':>24} {'F1':>6} {'ingest':>9} {'storage':>10} "
+             f"{'retrieval':>10} {'consume':>10}"]
+    for label, acc, ing, sto, ret, con in rows:
+        lines.append(f"{label:>24} {acc:>6.2f} {ing:>9.2e} {sto:>10.2e} "
+                     f"{ret:>10.2e} {con:>10.2e}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def profiler_a(full_library):
+    return OperatorProfiler(full_library, "dashcam")
+
+
+@pytest.fixture(scope="module")
+def profiler_b(full_library):
+    return OperatorProfiler(full_library, "jackson")
+
+
+def test_fig4a_crop_vs_motion(benchmark, record, profiler_a):
+    fidelities = [Fidelity("bad", "180p", Fraction(1, 6), c)
+                  for c in CROP_FACTORS]
+    rows = benchmark(_sweep, profiler_a, "Motion", fidelities)
+    record("Figure 4a — crop factor (Motion)", _render(rows))
+    accs = [r[1] for r in rows]
+    costs = [r[5] for r in rows]
+    assert accs == sorted(accs)  # richer crop, higher accuracy
+    assert costs == sorted(costs)  # and higher consumption cost
+
+
+def test_fig4b_quality_vs_license(benchmark, record, profiler_a):
+    fidelities = [Fidelity(q, "540p", Fraction(1, 6), 1.0)
+                  for q in QUALITIES]
+    rows = benchmark(_sweep, profiler_a, "License", fidelities)
+    record("Figure 4b — image quality (License)", _render(rows))
+    accs = [r[1] for r in rows]
+    storages = [r[3] for r in rows]
+    consumes = [r[5] for r in rows]
+    assert accs == sorted(accs)
+    assert storages == sorted(storages)
+    # O2: image quality does not impact consumption cost.
+    assert max(consumes) == pytest.approx(min(consumes))
+    # One quality step moves storage by roughly 5x (Section 2.4).
+    assert storages[-1] / storages[-2] > 3.5
+
+
+def test_fig4c_sampling_vs_snn(benchmark, record, profiler_b):
+    fidelities = [Fidelity("best", "200p", s, 1.0) for s in SAMPLING_RATES]
+    rows = benchmark(_sweep, profiler_b, "S-NN", fidelities)
+    record("Figure 4c — frame sampling (S-NN)", _render(rows))
+    accs = [r[1] for r in rows]
+    assert accs == sorted(accs)
+    assert accs[0] < accs[-1] - 0.1  # sampling matters
+
+
+def test_fig4d_sampling_vs_nn(benchmark, record, profiler_b):
+    fidelities = [Fidelity("good", "400p", s, 1.0) for s in SAMPLING_RATES]
+    rows = benchmark(_sweep, profiler_b, "NN", fidelities)
+    record("Figure 4d — frame sampling (NN)", _render(rows))
+    accs = [r[1] for r in rows]
+    assert accs == sorted(accs)
+    # The same knob impacts the two operators differently (Section 2.4):
+    # the sweep shapes are recorded for comparison with 4c.
+
+
+def test_fig4_cost_savings_at_minor_accuracy_loss(benchmark, record, profiler_a):
+    """Headline of Section 2.4: ~50% resource savings for ~5% accuracy."""
+    rich = Fidelity("best", "540p", Fraction(1, 6), 1.0)
+    poorer = Fidelity("best", "400p", Fraction(1, 6), 1.0)
+    a_rich = benchmark(profiler_a.profile, "License", rich)
+    a_poor = profiler_a.profile("License", poorer)
+    assert a_rich.accuracy - a_poor.accuracy < 0.12
+    assert (1 / a_poor.consumption_speed) < 0.7 * (1 / a_rich.consumption_speed)

@@ -1,0 +1,40 @@
+"""Section 7: qualitative comparison against Focus.
+
+Query-delay ratio r = 1 + alpha/f with alpha = 1/48: r = 3 at 1% frame
+selectivity, 1.2 at 10%, 1.04 at 50%; ingest hardware favours VStore 2-3x.
+"""
+
+import pytest
+
+from repro.analysis.focus import FocusComparison
+
+
+def test_sec7_query_delay_ratio(benchmark, record):
+    model = FocusComparison()
+
+    def sweep():
+        return {f: model.query_delay_ratio(f)
+                for f in (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)}
+
+    ratios = benchmark(sweep)
+    lines = [f"{'selectivity':>12} {'r = delay(VStore)/delay(Focus)':>32}"]
+    for f, r in ratios.items():
+        lines.append(f"{f:>12.2f} {r:>32.2f}")
+    record("Section 7 — Focus comparison", "\n".join(lines))
+
+    assert ratios[0.01] == pytest.approx(1 + (1 / 48) / 0.01)
+    assert ratios[0.10] == pytest.approx(1.21, abs=0.01)
+    assert ratios[0.50] == pytest.approx(1.04, abs=0.01)
+    values = list(ratios.values())
+    assert values == sorted(values, reverse=True)
+
+
+def test_sec7_ingest_hardware(benchmark, record):
+    model = benchmark(FocusComparison)
+    record(
+        "Section 7 — ingest hardware",
+        f"VStore transcoding per stream: ~${model.vstore_ingest_dollars}\n"
+        f"Focus ingest GPU per stream:  ~${model.focus_ingest_dollars}\n"
+        f"ratio: {model.ingest_cost_ratio():.1f}x",
+    )
+    assert 2.0 <= model.ingest_cost_ratio() <= 3.0

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Rolling out new operators on a running store (Section 7).
+
+Run:  python examples/operator_rollout.py
+
+A store configured for license-plate analytics (Motion, License, OCR) later
+gains tracking and contour queries (Opflow, Contour).  VStore profiles only
+the newcomers: on footage already on disk the new consumers subscribe to
+the cheapest existing storage format with satisfiable fidelity — meeting
+their accuracy targets, possibly slower than optimal — while forthcoming
+footage gets a re-derived storage-format set.
+"""
+
+from repro.core.config import derive_configuration
+from repro.core.evolve import add_operators
+from repro.operators.library import Consumer, default_library
+
+
+def main() -> None:
+    initial_library = default_library(names=("Motion", "License", "OCR"))
+    config = derive_configuration(initial_library)
+    print("Initial configuration:")
+    for sf in config.plan.formats:
+        tag = " (golden)" if sf.golden else ""
+        print(f"  {sf.label}{tag}")
+    print()
+
+    grown_library = default_library(
+        names=("Motion", "License", "OCR", "Opflow", "Contour")
+    )
+    new_consumers = [Consumer(op, acc)
+                     for op in ("Opflow", "Contour")
+                     for acc in (0.9, 0.8)]
+    evolved = add_operators(config, grown_library, new_consumers)
+
+    print("New consumers on EXISTING footage (cheapest satisfiable SF):")
+    for sub in evolved.legacy:
+        status = "optimal" if sub.optimal else "slower than optimal"
+        print(f"  {sub.consumer.label:>16} -> {sub.storage.label:>40} "
+              f"@ {sub.effective_speed:8.1f}x ({status})")
+    print()
+
+    print("Configuration for FORTHCOMING footage:")
+    for sf in evolved.forthcoming.plan.formats:
+        tag = " (golden)" if sf.golden else ""
+        print(f"  {sf.label}{tag}")
+    print()
+    print(f"profiling spent on the rollout: "
+          f"{evolved.forthcoming.stats.operator_runs} operator runs "
+          f"(existing operators were not re-profiled from scratch)")
+
+
+if __name__ == "__main__":
+    main()

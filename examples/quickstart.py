@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: derive a configuration and ask for query speed estimates.
+
+Run:  python examples/quickstart.py
+
+This walks the backward derivation of Section 4 on the six benchmark
+operators, prints the derived configuration (the analog of the paper's
+Table 3), and estimates end-to-end speeds for the two benchmark queries.
+"""
+
+from repro import VStore
+from repro.analysis.tables import format_configuration_table
+from repro.operators.library import default_library
+from repro.units import fmt_bytes, DAY
+
+
+def main() -> None:
+    library = default_library(
+        names=("Diff", "S-NN", "NN", "Motion", "License", "OCR")
+    )
+    store = VStore(library=library)
+
+    print("Deriving the video-format configuration (Section 4)...")
+    config = store.configure()
+    print(f"  consumers:          {len(config.consumers)}")
+    print(f"  unique CFs:         {config.unique_cf_count}")
+    print(f"  storage formats:    {len(config.plan.formats)}")
+    print(f"  knobs configured:   {config.knob_count}")
+    print(f"  profiling runs:     {config.stats.operator_runs} operator, "
+          f"{config.stats.coding_runs} coding")
+    print(f"  ingest cost:        {config.plan.ingest_cores:.2f} cores/stream")
+    rate = config.plan.storage_bytes_per_second
+    print(f"  storage cost:       {fmt_bytes(rate)}/s "
+          f"({fmt_bytes(rate * DAY)}/day)")
+    print()
+    print(format_configuration_table(config))
+    print()
+
+    for query, dataset in (("A", "jackson"), ("B", "dashcam")):
+        print(f"Query {query} on {dataset} (one hour of footage):")
+        for accuracy in (0.95, 0.9, 0.8, 0.7):
+            report = store.query(query, dataset=dataset, accuracy=accuracy,
+                                 duration=3600.0)
+            print(f"  accuracy {accuracy:.2f}: {report.speed:8.1f}x realtime")
+        print()
+
+
+if __name__ == "__main__":
+    main()

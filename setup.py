@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` for PEP 660 editable builds; this shim
+lets `python setup.py develop` (or legacy pip) work offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""VStore: a data store for analytics on large videos.
+
+A faithful reproduction of Xu, Botelho & Lin, *VStore: A Data Store for
+Analytics on Large Videos* (EuroSys 2019), built as a self-contained Python
+library over a deterministic simulation substrate (see DESIGN.md for the
+substitutions).
+
+Quickstart::
+
+    from repro import VStore
+
+    store = VStore()
+    config = store.configure()          # backward derivation (Section 4)
+    report = store.query("B", dataset="dashcam", accuracy=0.9,
+                         duration=3600.0)
+    print(f"query speed: {report.speed:.0f}x realtime")
+"""
+
+from repro.core.config import Configuration, derive_configuration
+from repro.core.store import VStore
+from repro.errors import VStoreError
+from repro.ingest.budget import IngestBudget
+from repro.operators.library import Consumer, OperatorLibrary, default_library
+from repro.query.cascade import QUERY_A, QUERY_B, QueryCascade
+from repro.video.coding import Coding, RAW
+from repro.video.fidelity import Fidelity
+from repro.video.format import ConsumptionFormat, StorageFormat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coding",
+    "Configuration",
+    "Consumer",
+    "ConsumptionFormat",
+    "Fidelity",
+    "IngestBudget",
+    "OperatorLibrary",
+    "QUERY_A",
+    "QUERY_B",
+    "QueryCascade",
+    "RAW",
+    "StorageFormat",
+    "VStore",
+    "VStoreError",
+    "default_library",
+    "derive_configuration",
+    "__version__",
+]

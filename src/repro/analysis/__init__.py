@@ -1,0 +1,25 @@
+"""Analysis helpers: the Focus comparison model and table formatting."""
+
+from repro.analysis.focus import FocusComparison
+from repro.analysis.sweeps import (
+    erosion_series,
+    keyframe_series,
+    query_speed_series,
+    speed_step_series,
+)
+from repro.analysis.tables import (
+    format_configuration_table,
+    format_erosion_table,
+    format_query_speed_table,
+)
+
+__all__ = [
+    "FocusComparison",
+    "erosion_series",
+    "keyframe_series",
+    "query_speed_series",
+    "speed_step_series",
+    "format_configuration_table",
+    "format_erosion_table",
+    "format_query_speed_table",
+]

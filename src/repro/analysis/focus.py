@@ -1,0 +1,43 @@
+"""Qualitative comparison against Focus (Section 7).
+
+Focus runs the cheap NN at ingestion and only the full NN at query time;
+VStore runs both at query time.  With frame selectivity f (the fraction of
+frames the cheap NN passes) and speed ratio alpha between the full and
+cheap NN, the query-delay ratio is
+
+    r = 1 + alpha / f
+
+and the ingestion-hardware comparison favours VStore's transcoders over
+Focus's ingest GPUs (Section 7's $-per-stream argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Speed ratio between full NN and cheap NN in Focus's setup.
+DEFAULT_ALPHA = 1.0 / 48.0
+
+
+@dataclass(frozen=True)
+class FocusComparison:
+    """The Section 7 cost model."""
+
+    alpha: float = DEFAULT_ALPHA
+    #: Dollars of ingest hardware per stream (Section 7's estimates).
+    vstore_ingest_dollars: float = 25.0  # transcoder farm per stream
+    focus_ingest_dollars: float = 60.0  # ingest-GPU share per stream
+
+    def query_delay_ratio(self, selectivity: float) -> float:
+        """r = 1 + alpha/f: VStore's query delay relative to Focus."""
+        if not 0.0 < selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1]: {selectivity}")
+        return 1.0 + self.alpha / selectivity
+
+    def ingest_cost_ratio(self) -> float:
+        """Focus's ingest hardware cost relative to VStore's."""
+        return self.focus_ingest_dollars / self.vstore_ingest_dollars
+
+    def sweep(self, selectivities=(0.01, 0.10, 0.50)):
+        """The paper's example points: r = 3, 1.2, 1.04."""
+        return {f: self.query_delay_ratio(f) for f in selectivities}

@@ -1,0 +1,75 @@
+"""Pretty-printers rendering configurations the way the paper's tables do."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import Configuration
+from repro.units import fmt_bytes, fmt_speed
+
+
+def format_configuration_table(config: Configuration) -> str:
+    """Render a configuration like Table 3: CFs per (operator, accuracy)
+    and the coalesced SF set."""
+    operators = sorted({c.operator for c in config.consumers})
+    accuracies = sorted({c.accuracy for c in config.consumers}, reverse=True)
+    sf_names = {sf.label: f"SF{i}" for i, sf in enumerate(config.plan.formats)}
+    golden_label = config.plan.golden.label
+    sf_names[golden_label] = "SFg"
+
+    lines: List[str] = []
+    header = ["F1"] + operators
+    lines.append(" | ".join(f"{h:>28}" for h in header))
+    for acc in accuracies:
+        row = [f"{acc:>28.2f}"]
+        for op in operators:
+            matches = [c for c in config.consumers
+                       if c.operator == op and c.accuracy == acc]
+            if not matches:
+                row.append(f"{'-':>28}")
+                continue
+            decision = config.decision_for(matches[0])
+            sf = config.storage_plan_for(matches[0])
+            cell = (f"{decision.fidelity.label} {sf_names[sf.label]} "
+                    f"{fmt_speed(decision.consumption_speed)}")
+            row.append(f"{cell:>28}")
+        lines.append(" | ".join(row))
+
+    lines.append("")
+    lines.append("Storage formats:")
+    for sf in config.plan.formats:
+        name = sf_names[sf.label]
+        lines.append(f"  {name:>4}: {sf.label}")
+    return "\n".join(lines)
+
+
+def format_query_speed_table(
+    rows: Sequence[Dict[str, object]],
+) -> str:
+    """Render Figure 11a-style rows: dataset, accuracy, scheme -> speed."""
+    lines = [f"{'dataset':>10} {'accuracy':>9} {'scheme':>8} {'speed':>12}"]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:>10} {row['accuracy']:>9} "
+            f"{row['scheme']:>8} {fmt_speed(float(row['speed'])):>12}"
+        )
+    return "\n".join(lines)
+
+
+def format_erosion_table(config: Configuration) -> str:
+    """Render the erosion plan: overall speed and residual bytes per age."""
+    erosion = config.erosion
+    if erosion is None:
+        return "(no erosion plan)"
+    lines = [f"decay factor k = {erosion.k:.3f}, Pmin = {erosion.pmin:.3f}"]
+    lines.append(f"{'age':>4} {'overall speed':>14} {'residual':>12}")
+    for age in range(1, erosion.lifespan_days + 1):
+        residual = sum(
+            erosion.residual_bytes.get((age, label), 0.0)
+            for label in erosion.labels
+        )
+        lines.append(
+            f"{age:>4} {erosion.overall_speed.get(age, 1.0):>14.3f} "
+            f"{fmt_bytes(residual):>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the common operator workflows:
+
+* ``configure`` — run the backward derivation and print the Table-3-style
+  configuration;
+* ``query`` — estimate end-to-end speed for a benchmark query;
+* ``ingest`` — transcode a stream's segments into an on-disk store;
+* ``execute`` — actually run a query over stored segments;
+* ``datasets`` — list the built-in benchmark streams;
+* ``focus`` — evaluate the Section-7 Focus comparison model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.focus import FocusComparison
+from repro.analysis.tables import (
+    format_configuration_table,
+    format_erosion_table,
+)
+from repro.core.store import VStore
+from repro.ingest.budget import IngestBudget
+from repro.operators.library import TABLE2_ORDER, default_library
+from repro.units import DAY, TB, fmt_bytes
+from repro.video.datasets import DATASETS
+
+
+def _build_store(args: argparse.Namespace) -> VStore:
+    names = tuple(args.operators.split(",")) if args.operators else TABLE2_ORDER
+    library = default_library(names=names)
+    budget = IngestBudget(args.ingest_cores)
+    storage = None if args.storage_budget_tb is None else (
+        args.storage_budget_tb * TB
+    )
+    return VStore(
+        workdir=getattr(args, "workdir", None),
+        library=library,
+        ingest_budget=budget,
+        storage_budget_bytes=storage,
+        lifespan_days=args.lifespan_days,
+    )
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--operators",
+        default="Diff,S-NN,NN,Motion,License,OCR",
+        help="comma-separated operator names (default: the six benchmark "
+             "operators; empty for the full Table-2 library)",
+    )
+    parser.add_argument("--ingest-cores", type=float, default=None,
+                        help="transcode-core budget per stream")
+    parser.add_argument("--storage-budget-tb", type=float, default=None,
+                        help="storage budget in TB (enables erosion)")
+    parser.add_argument("--lifespan-days", type=int, default=10)
+
+
+def cmd_configure(args: argparse.Namespace) -> int:
+    store = _build_store(args)
+    config = store.configure()
+    print(format_configuration_table(config))
+    print()
+    rate = config.plan.storage_bytes_per_second
+    print(f"ingest cost:  {config.plan.ingest_cores:.2f} cores/stream")
+    print(f"storage cost: {fmt_bytes(rate)}/s ({fmt_bytes(rate * DAY)}/day)")
+    print(f"profiling:    {config.stats.operator_runs} operator runs, "
+          f"{config.stats.coding_runs} coding runs, "
+          f"{config.stats.total_seconds:.0f} s simulated")
+    if args.storage_budget_tb is not None:
+        print()
+        print(format_erosion_table(config))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    store = _build_store(args)
+    store.configure()
+    report = store.query(args.query, dataset=args.dataset,
+                         accuracy=args.accuracy, duration=args.duration)
+    print(f"query {report.query} on {args.dataset} at accuracy "
+          f"{args.accuracy}: {report.speed:.1f}x realtime")
+    for stage in report.stages:
+        print(f"  {stage.operator:>8}: {stage.fidelity.label:>24} "
+              f"covers {stage.coverage * 100:5.1f}%  "
+              f"effective {stage.effective_speed:10.1f}x")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    store = _build_store(args)
+    with store:
+        store.configure()
+        store.ingest(args.dataset, n_segments=args.segments)
+        total = store.segments.total_bytes()
+        print(f"ingested {args.segments} segments of {args.dataset} into "
+              f"{len(store.configuration.storage_formats)} formats "
+              f"({fmt_bytes(total)} on disk)")
+    return 0
+
+
+def cmd_execute(args: argparse.Namespace) -> int:
+    store = _build_store(args)
+    with store:
+        store.configure()
+        result = store.execute(args.query, dataset=args.dataset,
+                               accuracy=args.accuracy,
+                               t0=args.t0, t1=args.t1)
+        print(f"executed query {result.query} over "
+              f"{result.video_seconds:.0f}s of {args.dataset}: "
+              f"{result.speed:.1f}x realtime")
+        for op, n in result.segments_per_stage.items():
+            print(f"  {op:>8}: {n} segments, "
+                  f"{result.positives_per_stage[op]} positives")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    for name, ds in DATASETS.items():
+        print(f"{name:>9} [{ds.kind}] {ds.description}")
+    return 0
+
+
+def cmd_focus(args: argparse.Namespace) -> int:
+    model = FocusComparison(alpha=args.alpha)
+    r = model.query_delay_ratio(args.selectivity)
+    print(f"selectivity {args.selectivity:.2%}: VStore/Focus query delay "
+          f"ratio r = {r:.2f}")
+    print(f"ingest hardware: Focus costs {model.ingest_cost_ratio():.1f}x "
+          f"VStore per stream")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VStore: a data store for analytics on large videos "
+                    "(EuroSys'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("configure", help="derive and print a configuration")
+    _add_store_arguments(p)
+    p.set_defaults(func=cmd_configure)
+
+    p = sub.add_parser("query", help="estimate a query's speed")
+    _add_store_arguments(p)
+    p.add_argument("query", choices=("A", "B"))
+    p.add_argument("--dataset", default="jackson", choices=sorted(DATASETS))
+    p.add_argument("--accuracy", type=float, default=0.9)
+    p.add_argument("--duration", type=float, default=3600.0)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("ingest", help="ingest segments into a workdir store")
+    _add_store_arguments(p)
+    p.add_argument("--workdir", required=True)
+    p.add_argument("--dataset", default="jackson", choices=sorted(DATASETS))
+    p.add_argument("--segments", type=int, default=8)
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("execute", help="run a query over stored segments")
+    _add_store_arguments(p)
+    p.add_argument("query", choices=("A", "B"))
+    p.add_argument("--workdir", required=True)
+    p.add_argument("--dataset", default="jackson", choices=sorted(DATASETS))
+    p.add_argument("--accuracy", type=float, default=0.9)
+    p.add_argument("--t0", type=float, default=0.0)
+    p.add_argument("--t1", type=float, default=64.0)
+    p.set_defaults(func=cmd_execute)
+
+    p = sub.add_parser("datasets", help="list the benchmark streams")
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("focus", help="Section-7 Focus comparison model")
+    p.add_argument("--selectivity", type=float, default=0.10)
+    p.add_argument("--alpha", type=float, default=1 / 48)
+    p.set_defaults(func=cmd_focus)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

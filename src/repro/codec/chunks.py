@@ -1,0 +1,66 @@
+"""GOP (chunk) structure and chunk-skip decode accounting (Section 2.3).
+
+An encoded stream is a sequence of chunks; each begins with a keyframe and
+is the smallest independently decodable unit.  When a consumer samples one
+frame every N stored frames and N exceeds the keyframe interval M, the
+decoder can jump to the sampled frame's chunk and decode only from that
+chunk's keyframe, skipping whole chunks in between (Figure 3b).
+
+This module computes the *exact* number of frames a decoder must touch for
+a given (sampling stride, keyframe interval) pair.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List
+
+from repro.errors import CodecError
+
+
+def gop_layout(n_frames: int, keyframe_interval: int) -> List[int]:
+    """Chunk lengths for a stream of ``n_frames`` with the given GOP size."""
+    if keyframe_interval <= 0:
+        raise CodecError(f"keyframe interval must be positive: {keyframe_interval}")
+    full, rest = divmod(n_frames, keyframe_interval)
+    layout = [keyframe_interval] * full
+    if rest:
+        layout.append(rest)
+    return layout
+
+
+def decoded_frame_count(n_frames: int, stride: int, keyframe_interval: int) -> int:
+    """Frames the decoder must decode to produce samples 0, stride, 2*stride...
+
+    Within a chunk, decoding frame i requires every frame from the chunk's
+    keyframe up to i (the reference chain); across samples the decoder either
+    continues from where it stopped or jumps to the next sample's keyframe,
+    whichever touches fewer frames.
+    """
+    if stride <= 0:
+        raise CodecError(f"sampling stride must be positive: {stride}")
+    if n_frames <= 0:
+        return 0
+    decoded = 0
+    last = -1  # index of the last decoded frame, -1 before any decode
+    for i in range(0, n_frames, stride):
+        key = (i // keyframe_interval) * keyframe_interval
+        start = last + 1 if last >= key else key
+        decoded += i - start + 1
+        last = i
+    return decoded
+
+
+def decoded_frame_fraction(stride: int, keyframe_interval: int) -> float:
+    """Long-run fraction of stored frames decoded under sparse sampling.
+
+    Computed exactly over one period of the joint (stride, GOP) pattern, so
+    it is precise for any combination, not just stride >> GOP.
+    """
+    if stride <= 1:
+        return 1.0
+    period = stride * keyframe_interval // gcd(stride, keyframe_interval)
+    # Cover at least a few samples so the steady state dominates.
+    n = max(period, stride * 4)
+    n -= n % stride  # end exactly on a sample boundary
+    return decoded_frame_count(n, stride, keyframe_interval) / float(n)

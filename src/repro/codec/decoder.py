@@ -1,0 +1,84 @@
+"""Decoder: turns a stored segment back into consumable raw frames.
+
+The decoder charges simulated decode time to the clock (category
+``"decode"``), honouring chunk skipping when the consumer samples sparsely.
+Raw (coding-bypass) segments are not decoded here; they take the disk path
+in :mod:`repro.retrieval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.clock import SimClock
+from repro.codec.chunks import decoded_frame_count
+from repro.codec.encoder import EncodedSegment
+from repro.codec.model import CodecModel, DEFAULT_CODEC
+from repro.errors import CodecError
+from repro.video.fidelity import Fidelity
+
+
+@dataclass(frozen=True)
+class DecodedFrames:
+    """The frames a consumer receives from one segment."""
+
+    source: EncodedSegment
+    consumer_fidelity: Fidelity
+    n_frames: int  # frames handed to the consumer
+    n_decoded: int  # frames the decoder had to touch (>= n_frames)
+    seconds: float  # video time covered
+
+
+class Decoder:
+    """A decoder instance (NVDEC in the paper)."""
+
+    def __init__(self, model: CodecModel = DEFAULT_CODEC,
+                 clock: Optional[SimClock] = None):
+        self.model = model
+        self.clock = clock or SimClock()
+        self.frames_decoded = 0
+
+    def decode(
+        self, encoded: EncodedSegment, consumer_fidelity: Fidelity
+    ) -> DecodedFrames:
+        """Decode ``encoded`` for a consumer expecting ``consumer_fidelity``.
+
+        The stored fidelity must be richer than or equal to the consumer's
+        (requirement R1); the sampling ratio determines how many stored
+        frames can be skipped chunk-wise.
+        """
+        fmt = encoded.fmt
+        if fmt.is_raw:
+            raise CodecError("raw segments are read from disk, not decoded")
+        if not fmt.fidelity.richer_equal(consumer_fidelity):
+            raise CodecError(
+                f"stored fidelity {fmt.fidelity.label} cannot supply "
+                f"consumer fidelity {consumer_fidelity.label}"
+            )
+        stride = self.model.consumer_stride(fmt.fidelity, consumer_fidelity.sampling)
+        n_stored = encoded.n_frames
+        n_decoded = decoded_frame_count(
+            n_stored, stride, fmt.coding.keyframe_interval
+        )
+        n_consumed = len(range(0, n_stored, stride))
+        cost = n_decoded * self.model.decode_frame_seconds(fmt.fidelity, fmt.coding)
+        self.clock.charge(cost, "decode")
+        self.frames_decoded += n_decoded
+        return DecodedFrames(
+            source=encoded,
+            consumer_fidelity=consumer_fidelity,
+            n_frames=n_consumed,
+            n_decoded=n_decoded,
+            seconds=encoded.segment.seconds,
+        )
+
+    def decode_speed(
+        self, encoded: EncodedSegment,
+        consumer_sampling: Optional[Fraction] = None,
+    ) -> float:
+        """Realtime multiple at which this segment's format decodes."""
+        return self.model.decode_speed(
+            encoded.fmt.fidelity, encoded.fmt.coding, consumer_sampling
+        )

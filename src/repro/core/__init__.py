@@ -1,0 +1,47 @@
+"""VStore's core: backward derivation of the video-format configuration.
+
+The derivation runs opposite to the video data path (Figure 7):
+
+1. :mod:`repro.core.consumption` — consumers -> consumption formats (4.2);
+2. :mod:`repro.core.coalesce` — consumption formats -> storage formats (4.3);
+3. :mod:`repro.core.erosion` — storage formats -> data erosion plan (4.4).
+
+:mod:`repro.core.config` ties the three steps together into a
+:class:`~repro.core.config.Configuration`; :mod:`repro.core.store` exposes
+the whole system behind the :class:`~repro.core.store.VStore` facade.
+"""
+
+from repro.core.boundary import BoundarySearch
+from repro.core.coalesce import (
+    CoalescePlan,
+    StorageFormatPlanner,
+    cheapest_adequate_coding,
+)
+from repro.core.config import Configuration, derive_configuration
+from repro.core.consumption import ConsumptionDecision, ConsumptionPlanner
+from repro.core.erosion import ErosionPlan, ErosionPlanner
+from repro.core.evolve import (
+    EvolvedConfiguration,
+    add_operators,
+    reprofile_for_hardware,
+)
+from repro.core.knobs import configuration_space_size
+from repro.core.store import VStore
+
+__all__ = [
+    "BoundarySearch",
+    "CoalescePlan",
+    "Configuration",
+    "ConsumptionDecision",
+    "ConsumptionPlanner",
+    "ErosionPlan",
+    "ErosionPlanner",
+    "EvolvedConfiguration",
+    "add_operators",
+    "reprofile_for_hardware",
+    "StorageFormatPlanner",
+    "VStore",
+    "cheapest_adequate_coding",
+    "configuration_space_size",
+    "derive_configuration",
+]

@@ -1,0 +1,65 @@
+"""Monotone 2-D accuracy-boundary search (Section 4.2, Figure 8).
+
+Given a 2-D grid of fidelity options whose accuracy is monotone along both
+axes (observation O1), the accuracy boundary — for every row, the poorest
+column that still meets the target accuracy — can be traced with
+O(rows + cols) probes instead of rows x cols: walking from the richest row
+toward the poorest, the boundary column never moves toward poorer values.
+
+Unlike the classic saddleback search that stops at the first hit, VStore
+must walk the *entire* boundary, because the minimally adequate point is
+not necessarily the cheapest one to consume (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class BoundaryResult:
+    """Outcome of one 2-D boundary walk."""
+
+    #: (row, col) cells on the accuracy boundary (adequate, minimal per row).
+    boundary: List[Tuple[int, int]] = field(default_factory=list)
+    #: every probed cell, in probe order (for accounting/visualization).
+    probed: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class BoundarySearch:
+    """Walks the accuracy boundary of one 2-D slice of the fidelity space.
+
+    ``adequate(row, col)`` must be monotone non-decreasing in both indices,
+    where a larger index means a richer knob value.  Probes are counted via
+    the ``probed`` list; memoization is the caller's concern (the profiler
+    already memoizes).
+    """
+
+    def __init__(self, n_rows: int, n_cols: int,
+                 adequate: Callable[[int, int], bool]):
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("boundary search needs a non-empty grid")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self._adequate = adequate
+
+    def walk(self) -> BoundaryResult:
+        """Trace the boundary from the richest row down to the poorest."""
+        result = BoundaryResult()
+
+        def adequate(r: int, c: int) -> bool:
+            result.probed.append((r, c))
+            return self._adequate(r, c)
+
+        col = 0
+        for row in range(self.n_rows - 1, -1, -1):
+            # The boundary column is monotone: poorer rows need >= col.
+            while col < self.n_cols and not adequate(row, col):
+                col += 1
+            if col == self.n_cols:
+                # No adequate cell in this row; poorer rows cannot have any
+                # (monotonicity along the row axis), so the walk ends.
+                break
+            result.boundary.append((row, col))
+        return result

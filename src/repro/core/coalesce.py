@@ -1,0 +1,448 @@
+"""Deriving storage formats by iterative coalescing (Section 4.3).
+
+Starting from one storage format per unique consumption format, plus the
+*golden* format (knob-wise maximum fidelity, cheapest-storage coding, the
+ultimate erosion fallback), VStore coalesces pairs:
+
+* the merged fidelity is the knob-wise maximum (satisfiable fidelity, R1);
+* the merged coding is the cheapest-storage option whose retrieval speed
+  still beats every downstream consumer (adequate retrieval, R2), falling
+  back to raw frames when no encoded option keeps up;
+* **heuristic selection** first harvests "free" merges (less ingest, no
+  extra storage), then — only if the ingestion budget is exceeded — trades
+  storage for ingest by merging further and by stepping individual formats
+  to faster (cheaper to encode, bulkier) coding;
+* **distance-based selection** (the evaluated alternative) merges the
+  closest pair in normalized knob space without profiling pair outcomes;
+* **exhaustive enumeration** (validation baseline) scores every set
+  partition of the consumption formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.consumption import ConsumptionDecision
+from repro.errors import BudgetError, ConfigurationError
+from repro.ingest.budget import IngestBudget
+from repro.operators.library import Consumer
+from repro.profiler.coding_profiler import CodingProfiler
+from repro.video.coding import Coding, RAW, SPEED_STEPS, coding_space
+from repro.video.fidelity import (
+    CROP_FACTORS,
+    Fidelity,
+    QUALITIES,
+    RESOLUTION_ORDER,
+    SAMPLING_RATES,
+    knobwise_max,
+)
+from repro.video.format import StorageFormat
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One consumer's requirement on its storage format."""
+
+    consumer: Consumer
+    cf_fidelity: Fidelity
+    required_speed: float  # the consumer's consumption speed (x realtime)
+
+
+@dataclass
+class SFPlan:
+    """A storage format under construction, with its downstream demands."""
+
+    fidelity: Fidelity
+    coding: Coding
+    demands: List[Demand] = field(default_factory=list)
+    golden: bool = False
+
+    @property
+    def fmt(self) -> StorageFormat:
+        return StorageFormat(self.fidelity, self.coding)
+
+    @property
+    def label(self) -> str:
+        return self.fmt.label
+
+
+@dataclass
+class CoalescePlan:
+    """The outcome of storage-format derivation."""
+
+    formats: List[SFPlan]
+    storage_bytes_per_second: float
+    ingest_cores: float
+    rounds: int = 0
+
+    @property
+    def golden(self) -> SFPlan:
+        for sf in self.formats:
+            if sf.golden:
+                return sf
+        raise ConfigurationError("plan lost its golden format")
+
+    def subscription(self, consumer: Consumer) -> SFPlan:
+        """The storage format a consumer's CF subscribes to."""
+        for sf in self.formats:
+            if any(d.consumer == consumer for d in sf.demands):
+                return sf
+        raise ConfigurationError(f"consumer {consumer} has no storage format")
+
+
+def _storage_rank(profiler: CodingProfiler, fidelity: Fidelity) -> List[Coding]:
+    """Encoded coding options ordered by on-disk size, cheapest first."""
+    options = list(coding_space(include_raw=False))
+    options.sort(
+        key=lambda c: profiler.codec.encoded_bytes_per_second(
+            fidelity, c, profiler.activity
+        )
+    )
+    return options
+
+
+def coding_is_adequate(
+    profiler: CodingProfiler,
+    fmt: StorageFormat,
+    demands: Sequence[Demand],
+) -> bool:
+    """R2 check: retrieval beats every downstream consumer's speed."""
+    for demand in demands:
+        speed = profiler.retrieval_speed(fmt, demand.cf_fidelity.sampling)
+        if speed < demand.required_speed - _EPS:
+            return False
+    return True
+
+
+def cheapest_adequate_coding(
+    profiler: CodingProfiler,
+    fidelity: Fidelity,
+    demands: Sequence[Demand],
+) -> Coding:
+    """The lowest-storage coding option meeting all retrieval demands.
+
+    Walks encoded options from smallest on-disk size upward, profiling each
+    candidate (memoized by the profiler); when even the cheapest-to-decode
+    encoded option is too slow, the coding bypass (raw frames) is chosen —
+    exactly the rule of Section 4.3.
+    """
+    for coding in _storage_rank(profiler, fidelity):
+        if coding_is_adequate(profiler, StorageFormat(fidelity, coding), demands):
+            return coding
+    return RAW
+
+
+class StorageFormatPlanner:
+    """Coalesces consumption formats into storage formats."""
+
+    def __init__(self, profiler: CodingProfiler,
+                 budget: IngestBudget = IngestBudget()):
+        self.profiler = profiler
+        self.budget = budget
+
+    # -- construction of the initial SF set ----------------------------------------
+
+    def initial_formats(
+        self, decisions: Sequence[ConsumptionDecision]
+    ) -> List[SFPlan]:
+        """One SF per unique CF (identical fidelity), plus the golden SF."""
+        if not decisions:
+            raise ConfigurationError("cannot plan storage with no consumers")
+        by_cf: Dict[Fidelity, List[Demand]] = {}
+        for d in decisions:
+            demand = Demand(d.consumer, d.fidelity, d.consumption_speed)
+            by_cf.setdefault(d.fidelity, []).append(demand)
+
+        formats = [
+            SFPlan(
+                fidelity=fid,
+                coding=cheapest_adequate_coding(self.profiler, fid, demands),
+                demands=demands,
+            )
+            for fid, demands in by_cf.items()
+        ]
+        golden_fid = knobwise_max([d.fidelity for d in decisions])
+        golden_coding = cheapest_adequate_coding(self.profiler, golden_fid, [])
+        formats.append(SFPlan(golden_fid, golden_coding, demands=[], golden=True))
+        return formats
+
+    # -- cost accounting --------------------------------------------------------------
+
+    def sf_storage(self, sf: SFPlan) -> float:
+        return self.profiler.profile(sf.fmt).bytes_per_second
+
+    def sf_ingest(self, sf: SFPlan) -> float:
+        return self.profiler.profile(sf.fmt).ingest_cost
+
+    def storage_cost(self, formats: Sequence[SFPlan]) -> float:
+        return sum(self.sf_storage(sf) for sf in formats)
+
+    def ingest_cost(self, formats: Sequence[SFPlan]) -> float:
+        return sum(self.sf_ingest(sf) for sf in formats)
+
+    # -- pair coalescing ---------------------------------------------------------------
+
+    def coalesce_pair(self, a: SFPlan, b: SFPlan) -> SFPlan:
+        """Merge two storage formats (Section 4.3's three-effect move)."""
+        fidelity = knobwise_max([a.fidelity, b.fidelity])
+        demands = list(a.demands) + list(b.demands)
+        coding = cheapest_adequate_coding(self.profiler, fidelity, demands)
+        return SFPlan(fidelity, coding, demands, golden=a.golden or b.golden)
+
+    def _merge_is_safe(self, merged: SFPlan, parents: Sequence[SFPlan]) -> bool:
+        """A merge must not take retrieval adequacy away from a consumer
+        that had it before (some ultra-fast consumers are retrieval-bound
+        even on raw frames; those may stay retrieval-bound, but an adequate
+        consumer must remain adequate)."""
+        for parent in parents:
+            for demand in parent.demands:
+                had = coding_is_adequate(self.profiler, parent.fmt, [demand])
+                if had and not coding_is_adequate(
+                    self.profiler, merged.fmt, [demand]
+                ):
+                    return False
+        return True
+
+    def _pair_moves(
+        self, formats: List[SFPlan]
+    ) -> Iterator[Tuple[float, float, int, int, SFPlan]]:
+        """All safe pairwise merges as (d_storage, d_ingest, i, j, merged)."""
+        for i in range(len(formats)):
+            for j in range(i + 1, len(formats)):
+                merged = self.coalesce_pair(formats[i], formats[j])
+                if not self._merge_is_safe(merged, (formats[i], formats[j])):
+                    continue
+                d_sto = (
+                    self.sf_storage(merged)
+                    - self.sf_storage(formats[i])
+                    - self.sf_storage(formats[j])
+                )
+                d_ing = (
+                    self.sf_ingest(merged)
+                    - self.sf_ingest(formats[i])
+                    - self.sf_ingest(formats[j])
+                )
+                yield d_sto, d_ing, i, j, merged
+
+    def _coding_bump_moves(
+        self, formats: List[SFPlan]
+    ) -> Iterator[Tuple[float, float, int, SFPlan]]:
+        """Per-format steps to a faster (cheaper-encode) coding option."""
+        for i, sf in enumerate(formats):
+            if sf.coding.raw:
+                continue
+            step_idx = sf.coding.speed_idx
+            if step_idx + 1 >= len(SPEED_STEPS):
+                continue
+            faster = Coding(
+                speed_step=SPEED_STEPS[step_idx + 1],
+                keyframe_interval=sf.coding.keyframe_interval,
+            )
+            bumped = replace(sf, coding=faster)
+            if not coding_is_adequate(self.profiler, bumped.fmt, bumped.demands):
+                continue
+            d_sto = self.sf_storage(bumped) - self.sf_storage(sf)
+            d_ing = self.sf_ingest(bumped) - self.sf_ingest(sf)
+            if d_ing < -_EPS:
+                yield d_sto, d_ing, i, bumped
+
+    # -- heuristic-based selection --------------------------------------------------------
+
+    def heuristic_coalesce(
+        self, decisions: Sequence[ConsumptionDecision]
+    ) -> CoalescePlan:
+        """The paper's heuristic: free merges first, then pay storage for
+        ingest until the budget is met."""
+        formats = self.initial_formats(decisions)
+        rounds = 0
+
+        # Phase 1: harvest free merges (no storage increase, less ingest).
+        while True:
+            best = None
+            for d_sto, d_ing, i, j, merged in self._pair_moves(formats):
+                if d_sto > _EPS or d_ing > -_EPS:
+                    continue
+                key = (d_ing, d_sto)  # most ingest saved, then most storage
+                if best is None or key < best[0]:
+                    best = (key, i, j, merged)
+            if best is None:
+                break
+            _, i, j, merged = best
+            formats = [f for k, f in enumerate(formats) if k not in (i, j)]
+            formats.append(merged)
+            rounds += 1
+
+        # Phase 2: trade storage for ingest until under budget.
+        while not self.budget.allows([sf.fmt for sf in formats],
+                                     self.profiler.codec):
+            best = None  # (storage paid per core saved, apply-closure)
+            for d_sto, d_ing, i, j, merged in self._pair_moves(formats):
+                if d_ing > -_EPS:
+                    continue
+                price = d_sto / -d_ing
+                if best is None or price < best[0]:
+                    best = (price, ("merge", i, j, merged))
+            for d_sto, d_ing, i, bumped in self._coding_bump_moves(formats):
+                price = d_sto / -d_ing
+                if best is None or price < best[0]:
+                    best = (price, ("bump", i, None, bumped))
+            if best is None:
+                raise BudgetError(
+                    f"ingestion budget {self.budget.cores} cores is infeasible: "
+                    f"cheapest format set needs "
+                    f"{self.ingest_cost(formats):.2f} cores"
+                )
+            _, (kind, i, j, new_sf) = best
+            if kind == "merge":
+                formats = [f for k, f in enumerate(formats) if k not in (i, j)]
+            else:
+                formats = [f for k, f in enumerate(formats) if k != i]
+            formats.append(new_sf)
+            rounds += 1
+
+        return CoalescePlan(
+            formats=formats,
+            storage_bytes_per_second=self.storage_cost(formats),
+            ingest_cores=self.ingest_cost(formats),
+            rounds=rounds,
+        )
+
+    # -- distance-based selection ------------------------------------------------------------
+
+    @staticmethod
+    def _knob_vector(fidelity: Fidelity) -> np.ndarray:
+        """Knob indices normalized to [0, 1] for the similarity metric."""
+        return np.array([
+            fidelity.quality_idx / (len(QUALITIES) - 1),
+            fidelity.resolution_idx / (len(RESOLUTION_ORDER) - 1),
+            fidelity.sampling_idx / (len(SAMPLING_RATES) - 1),
+            fidelity.crop_idx / (len(CROP_FACTORS) - 1),
+        ])
+
+    def distance_coalesce(
+        self,
+        decisions: Sequence[ConsumptionDecision],
+        target_count: Optional[int] = 4,
+    ) -> CoalescePlan:
+        """The evaluated alternative: merge the closest pair in normalized
+        knob space each round, ignoring resource impacts."""
+        formats = self.initial_formats(decisions)
+        rounds = 0
+
+        def done() -> bool:
+            under_budget = self.budget.allows(
+                [sf.fmt for sf in formats], self.profiler.codec
+            )
+            at_target = target_count is None or len(formats) <= target_count
+            return under_budget and at_target
+
+        while len(formats) > 1 and not done():
+            best = None
+            for i in range(len(formats)):
+                for j in range(i + 1, len(formats)):
+                    dist = float(np.linalg.norm(
+                        self._knob_vector(formats[i].fidelity)
+                        - self._knob_vector(formats[j].fidelity)
+                    ))
+                    if best is None or dist < best[0]:
+                        best = (dist, i, j)
+            _, i, j = best
+            merged = self.coalesce_pair(formats[i], formats[j])
+            formats = [f for k, f in enumerate(formats) if k not in (i, j)]
+            formats.append(merged)
+            rounds += 1
+
+        return CoalescePlan(
+            formats=formats,
+            storage_bytes_per_second=self.storage_cost(formats),
+            ingest_cores=self.ingest_cost(formats),
+            rounds=rounds,
+        )
+
+    # -- exhaustive enumeration (validation baseline, Section 6.4) -------------------------------
+
+    def exhaustive(
+        self, decisions: Sequence[ConsumptionDecision], max_cfs: int = 10
+    ) -> CoalescePlan:
+        """Score every set partition of the CFs; minimize storage cost, then
+        ingest cost, subject to the ingestion budget."""
+        by_cf: Dict[Fidelity, List[Demand]] = {}
+        for d in decisions:
+            by_cf.setdefault(d.fidelity, []).append(
+                Demand(d.consumer, d.fidelity, d.consumption_speed)
+            )
+        cfs = list(by_cf.items())
+        if len(cfs) > max_cfs:
+            raise ConfigurationError(
+                f"exhaustive enumeration over {len(cfs)} CFs is unaffordable "
+                f"(limit {max_cfs}); use heuristic_coalesce"
+            )
+        golden_fid = knobwise_max([d.fidelity for d in decisions])
+
+        best: Optional[Tuple[Tuple[float, float], List[SFPlan]]] = None
+        # Reference adequacy: what each CF's own dedicated SF can deliver.
+        own_adequate: Dict[Fidelity, bool] = {}
+        for fid, demands in cfs:
+            coding = cheapest_adequate_coding(self.profiler, fid, demands)
+            own_adequate[fid] = coding_is_adequate(
+                self.profiler, StorageFormat(fid, coding), demands
+            )
+
+        for partition in _set_partitions(list(range(len(cfs)))):
+            formats = []
+            feasible = True
+            for block in partition:
+                fidelity = knobwise_max([cfs[k][0] for k in block])
+                demands = [dem for k in block for dem in cfs[k][1]]
+                coding = cheapest_adequate_coding(self.profiler, fidelity, demands)
+                sf = SFPlan(fidelity, coding, demands)
+                for k in block:
+                    if own_adequate[cfs[k][0]] and not coding_is_adequate(
+                        self.profiler, sf.fmt, cfs[k][1]
+                    ):
+                        feasible = False
+                        break
+                if not feasible:
+                    break
+                formats.append(sf)
+            if not feasible:
+                continue
+            golden = next(
+                (sf for sf in formats if sf.fidelity == golden_fid), None
+            )
+            if golden is None:
+                coding = cheapest_adequate_coding(self.profiler, golden_fid, [])
+                formats.append(SFPlan(golden_fid, coding, [], golden=True))
+            else:
+                golden.golden = True
+            if not self.budget.allows([sf.fmt for sf in formats],
+                                      self.profiler.codec):
+                continue
+            score = (self.storage_cost(formats), self.ingest_cost(formats))
+            if best is None or score < best[0]:
+                best = (score, formats)
+        if best is None:
+            raise BudgetError("no partition satisfies the ingestion budget")
+        formats = best[1]
+        return CoalescePlan(
+            formats=formats,
+            storage_bytes_per_second=self.storage_cost(formats),
+            ingest_cores=self.ingest_cost(formats),
+        )
+
+
+def _set_partitions(items: List[int]) -> Iterator[List[List[int]]]:
+    """All set partitions of ``items`` (Bell-number many)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1:]
+        yield [[first]] + partition

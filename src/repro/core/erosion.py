@@ -1,0 +1,301 @@
+"""Age-based data erosion planning (Section 4.4, Figures 10 and 13).
+
+As footage ages, VStore deletes growing fractions of each storage format's
+segments, letting consumers fall back to richer ancestors in a richer-than
+tree rooted at the golden format (which is never eroded).  Fallback keeps
+accuracy intact (R1) but decays effective speed; the planner:
+
+* computes each consumer's *relative speed* under a set of per-format
+  deletion fractions, following the fallback chain;
+* takes the overall speed as the max-min over consumers;
+* plans deletions per age like a fair scheduler — always eroding the format
+  that least harms the currently slowest consumer;
+* sets per-age targets with the power law P(x) = (1-Pmin) x^-k + Pmin and
+  binary-searches the smallest decay factor k that fits the storage budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coalesce import Demand, SFPlan
+from repro.errors import ErosionError
+from repro.retrieval.speed import retrieval_speed
+from repro.units import DAY
+from repro.video.format import StorageFormat
+
+#: Granularity of deletion fractions while planning one age.
+_STEP = 0.02
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ErosionPlan:
+    """The derived erosion schedule for one stream's storage formats."""
+
+    k: float
+    pmin: float
+    lifespan_days: int
+    #: cumulative deleted fraction per (age, format label).
+    fractions: Dict[Tuple[int, str], float]
+    #: achieved overall relative speed per age.
+    overall_speed: Dict[int, float]
+    #: residual stored bytes per (age, format label) for one day of footage.
+    residual_bytes: Dict[Tuple[int, str], float]
+    labels: Tuple[str, ...]
+
+    @property
+    def total_bytes(self) -> float:
+        """Steady-state total footprint across the whole lifespan."""
+        return sum(self.residual_bytes.values())
+
+    def deleted_fraction_map(
+        self, formats: Sequence[SFPlan]
+    ) -> Dict[Tuple[int, StorageFormat], float]:
+        """The plan keyed by StorageFormat, as the storage layer expects."""
+        by_label = {sf.label: sf.fmt for sf in formats}
+        return {
+            (age, by_label[label]): fraction
+            for (age, label), fraction in self.fractions.items()
+            if label in by_label
+        }
+
+
+def power_law_target(age: int, k: float, pmin: float) -> float:
+    """P(x) = (1 - Pmin) * x^-k + Pmin — the per-age overall-speed target."""
+    return (1.0 - pmin) * float(age) ** (-k) + pmin
+
+
+class ErosionPlanner:
+    """Plans age-based erosion for one coalesced storage-format set."""
+
+    def __init__(
+        self,
+        formats: Sequence[SFPlan],
+        bytes_per_second: Dict[str, float],
+        lifespan_days: int = 10,
+    ):
+        if not any(sf.golden for sf in formats):
+            raise ErosionError("erosion planning requires a golden format")
+        self.formats = list(formats)
+        self.bytes_per_second = dict(bytes_per_second)
+        self.lifespan_days = lifespan_days
+        self.parent: Dict[int, Optional[int]] = self._build_tree()
+        self._consumers: List[Tuple[Demand, int]] = [
+            (demand, i)
+            for i, sf in enumerate(self.formats)
+            for demand in sf.demands
+        ]
+        self._speed_cache: Dict[Tuple, float] = {}
+
+    # -- richer-than tree -------------------------------------------------------
+
+    def _build_tree(self) -> Dict[int, Optional[int]]:
+        """Parent of each format: the closest strictly richer format (ties
+        and dead ends resolve to the golden root)."""
+        golden_idx = next(i for i, sf in enumerate(self.formats) if sf.golden)
+        parent: Dict[int, Optional[int]] = {golden_idx: None}
+        for i, sf in enumerate(self.formats):
+            if i == golden_idx:
+                continue
+            candidates = [
+                (self._richness(self.formats[j].fidelity), j)
+                for j, other in enumerate(self.formats)
+                if j != i and other.fidelity.richer_than(sf.fidelity)
+            ]
+            if not candidates:
+                parent[i] = golden_idx
+            else:
+                parent[i] = min(candidates)[1]
+        return parent
+
+    @staticmethod
+    def _richness(fidelity) -> Tuple[int, int, int, int]:
+        return (
+            fidelity.resolution_idx + fidelity.sampling_idx
+            + fidelity.quality_idx + fidelity.crop_idx,
+            fidelity.resolution_idx,
+            fidelity.sampling_idx,
+            fidelity.quality_idx,
+        )
+
+    def chain(self, sf_index: int) -> List[int]:
+        """Fallback chain from a format up to the golden root."""
+        out = [sf_index]
+        seen = {sf_index}
+        while True:
+            nxt = self.parent[out[-1]]
+            if nxt is None:
+                return out
+            if nxt in seen:
+                raise ErosionError("richer-than tree contains a cycle")
+            out.append(nxt)
+            seen.add(nxt)
+
+    # -- speeds ------------------------------------------------------------------
+
+    def effective_speed(self, demand: Demand, sf_index: int) -> float:
+        """Consumer speed when served from ``sf_index``: the slower of its
+        consumption speed and that format's retrieval speed."""
+        key = (demand.consumer, demand.cf_fidelity, sf_index)
+        cached = self._speed_cache.get(key)
+        if cached is None:
+            fmt = self.formats[sf_index].fmt
+            cached = min(
+                demand.required_speed,
+                retrieval_speed(fmt, demand.cf_fidelity.sampling),
+            )
+            self._speed_cache[key] = cached
+        return cached
+
+    def relative_speed(self, demand: Demand, home: int,
+                       fractions: Dict[int, float]) -> float:
+        """Speed relative to the un-eroded case under per-format deletion
+        fractions, following the fallback chain (generalizes the paper's
+        alpha / ((1-p) alpha + p) to multi-level fallback)."""
+        v0 = self.effective_speed(demand, home)
+        if v0 <= 0:
+            return 1.0
+        expected_time = 0.0
+        survive = 1.0  # probability the segment was deleted at all prior levels
+        for level in self.chain(home):
+            p_deleted = fractions.get(level, 0.0)
+            if self.formats[level].golden:
+                p_deleted = 0.0  # the golden format is never eroded
+            serve_prob = survive * (1.0 - p_deleted)
+            if serve_prob > 0.0:
+                expected_time += serve_prob / self.effective_speed(demand, level)
+            survive *= p_deleted
+        if expected_time <= 0.0:
+            return 1.0
+        return min(1.0, 1.0 / (v0 * expected_time))
+
+    def overall_speed(self, fractions: Dict[int, float]) -> float:
+        """Max-min fairness: the minimum relative speed over all consumers."""
+        if not self._consumers:
+            return 1.0
+        return min(
+            self.relative_speed(demand, home, fractions)
+            for demand, home in self._consumers
+        )
+
+    @property
+    def pmin(self) -> float:
+        """Overall speed with every non-golden format fully deleted."""
+        fractions = {
+            i: 1.0 for i, sf in enumerate(self.formats) if not sf.golden
+        }
+        return self.overall_speed(fractions)
+
+    # -- planning one age --------------------------------------------------------------
+
+    def _erode_age(self, fractions: Dict[int, float],
+                   target: float) -> Dict[int, float]:
+        """Extend cumulative fractions until overall speed <= target.
+
+        Fair-scheduler loop (Section 4.4): find the slowest consumer Q,
+        erode the format that harms Q least, and size the deletion so the
+        overall speed lands on the target — computed by binary search,
+        because relative speed is extremely steep in the deleted fraction
+        when consumption outruns fallback retrieval by orders of magnitude.
+        """
+        fractions = dict(fractions)
+        while self.overall_speed(fractions) > target + _EPS:
+            # The consumer currently experiencing the worst decay.
+            slowest = min(
+                self._consumers,
+                key=lambda c: self.relative_speed(c[0], c[1], fractions),
+            )
+            candidates = [
+                i for i, sf in enumerate(self.formats)
+                if not sf.golden and fractions.get(i, 0.0) < 1.0 - _EPS
+            ]
+            if not candidates:
+                break  # only the golden format remains: floor reached
+
+            # Erode the format that least harms the slowest consumer.
+            def impact(i: int) -> float:
+                probe = dict(fractions)
+                probe[i] = min(1.0, probe.get(i, 0.0) + _STEP)
+                return -(self.relative_speed(slowest[0], slowest[1], probe))
+
+            victim = min(candidates, key=impact)
+
+            full = dict(fractions)
+            full[victim] = 1.0
+            if self.overall_speed(full) > target + _EPS:
+                # Even deleting this format entirely is not enough; take it
+                # all and move on to the next victim.
+                fractions = full
+                continue
+            # Binary search the smallest fraction reaching the target.
+            lo, hi = fractions.get(victim, 0.0), 1.0
+            for _ in range(40):
+                mid = (lo + hi) / 2.0
+                probe = dict(fractions)
+                probe[victim] = mid
+                if self.overall_speed(probe) > target + _EPS:
+                    lo = mid
+                else:
+                    hi = mid
+            fractions[victim] = hi
+        return fractions
+
+    # -- whole-lifespan planning -----------------------------------------------------------
+
+    def plan_for_k(self, k: float) -> ErosionPlan:
+        """Erosion plan following the power-law targets for a given k."""
+        pmin = self.pmin
+        fractions: Dict[int, float] = {}
+        per_age_fracs: Dict[Tuple[int, str], float] = {}
+        speeds: Dict[int, float] = {}
+        residual: Dict[Tuple[int, str], float] = {}
+        day_bytes = {
+            sf.label: self.bytes_per_second.get(sf.label, 0.0) * DAY
+            for sf in self.formats
+        }
+        for age in range(1, self.lifespan_days + 1):
+            target = power_law_target(age, k, pmin)
+            fractions = self._erode_age(fractions, target)
+            speeds[age] = self.overall_speed(fractions)
+            for i, sf in enumerate(self.formats):
+                frac = 0.0 if sf.golden else fractions.get(i, 0.0)
+                per_age_fracs[(age, sf.label)] = frac
+                residual[(age, sf.label)] = day_bytes[sf.label] * (1.0 - frac)
+        return ErosionPlan(
+            k=k,
+            pmin=pmin,
+            lifespan_days=self.lifespan_days,
+            fractions=per_age_fracs,
+            overall_speed=speeds,
+            residual_bytes=residual,
+            labels=tuple(sf.label for sf in self.formats),
+        )
+
+    def plan(self, storage_budget_bytes: Optional[float]) -> ErosionPlan:
+        """Find the gentlest decay (smallest k) fitting the budget via
+        binary search; k = 0 means no erosion at all."""
+        no_decay = self.plan_for_k(0.0)
+        if storage_budget_bytes is None or no_decay.total_bytes <= storage_budget_bytes:
+            return no_decay
+
+        k_max = 16.0
+        floor_plan = self.plan_for_k(k_max)
+        if floor_plan.total_bytes > storage_budget_bytes:
+            raise ErosionError(
+                f"storage budget {storage_budget_bytes:.3e} B is below the "
+                f"erosion floor {floor_plan.total_bytes:.3e} B (day-1 footage "
+                f"plus the golden format are never deleted)"
+            )
+        lo, hi = 0.0, k_max
+        best = floor_plan
+        for _ in range(24):
+            mid = (lo + hi) / 2.0
+            plan = self.plan_for_k(mid)
+            if plan.total_bytes <= storage_budget_bytes:
+                best = plan
+                hi = mid
+            else:
+                lo = mid
+        return best

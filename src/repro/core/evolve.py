@@ -1,0 +1,173 @@
+"""Adapting to changes in operators and hardware (Section 7).
+
+VStore works with any queries composed from its pre-defined library.  When
+the library *changes*, the paper prescribes incremental adaptation rather
+than wholesale reconfiguration:
+
+* **adding an operator (or accuracy level)**: profile the newcomer and
+  derive its consumption formats.  For *forthcoming* videos the storage
+  formats are re-derived; for *existing* videos — transcoding old footage
+  is too expensive — each new CF subscribes to the cheapest existing SF
+  with satisfiable fidelity (R1 holds, so accuracy is met; retrieval may be
+  slower than optimal until that footage ages out).
+* **hardware changes** (e.g. a new GPU): all operators are re-profiled,
+  which this module models by rebuilding the configuration with fresh
+  profilers under the new cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clock import SimClock
+from repro.core.coalesce import SFPlan
+from repro.core.config import (
+    Configuration,
+    DEFAULT_PROFILE_DATASETS,
+    derive_configuration,
+)
+from repro.core.consumption import ConsumptionDecision, ConsumptionPlanner
+from repro.errors import ConfigurationError
+from repro.operators.library import Consumer, OperatorLibrary
+from repro.profiler.profiler import OperatorProfiler
+from repro.retrieval.speed import retrieval_speed
+
+
+@dataclass(frozen=True)
+class LegacySubscription:
+    """A new consumer bound to an *existing* storage format.
+
+    ``optimal`` is False when the legacy format satisfies fidelity (R1) but
+    cannot match the consumer's consumption speed (R2) — the paper's
+    "operators run with designated accuracies, albeit slower than optimal".
+    """
+
+    consumer: Consumer
+    decision: ConsumptionDecision
+    storage: SFPlan
+    effective_speed: float
+    optimal: bool
+
+
+@dataclass
+class EvolvedConfiguration:
+    """Outcome of adding operators to a configured store."""
+
+    #: Configuration applied to forthcoming videos (SFs re-derived).
+    forthcoming: Configuration
+    #: Subscriptions of the *new* consumers on already-stored videos.
+    legacy: List[LegacySubscription]
+
+
+def subscribe_to_existing(
+    decision: ConsumptionDecision, formats: Sequence[SFPlan]
+) -> LegacySubscription:
+    """Bind a new consumer to the cheapest existing SF with satisfiable
+    fidelity (Section 7's rule for footage already on disk)."""
+    candidates = [
+        sf for sf in formats if sf.fidelity.richer_equal(decision.fidelity)
+    ]
+    if not candidates:
+        raise ConfigurationError(
+            f"no existing storage format can supply {decision.fidelity.label}"
+            " — the golden format should always qualify"
+        )
+
+    def cost_key(sf: SFPlan) -> Tuple[float, float]:
+        # Cheapest to retrieve from, then fewest pixels (cheapest to hold).
+        speed = retrieval_speed(sf.fmt, decision.fidelity.sampling)
+        return (-speed, sf.fidelity.pixels)
+
+    best = min(candidates, key=cost_key)
+    speed = retrieval_speed(best.fmt, decision.fidelity.sampling)
+    effective = min(speed, decision.consumption_speed)
+    return LegacySubscription(
+        consumer=decision.consumer,
+        decision=decision,
+        storage=best,
+        effective_speed=effective,
+        optimal=speed >= decision.consumption_speed,
+    )
+
+
+def add_operators(
+    config: Configuration,
+    library: OperatorLibrary,
+    new_consumers: Sequence[Consumer],
+    profile_datasets: Optional[Dict[str, str]] = None,
+    clock: Optional[SimClock] = None,
+) -> EvolvedConfiguration:
+    """Admit new consumers into a configured store (Section 7).
+
+    ``library`` must already contain the new operators.  Existing consumers
+    keep their decisions; only the newcomers are profiled, which keeps the
+    adaptation cost at O(new operators) rather than a full round.
+    """
+    clock = clock or SimClock()
+    datasets = dict(profile_datasets or DEFAULT_PROFILE_DATASETS)
+    existing = {c for c in config.consumers}
+    added = [c for c in new_consumers if c not in existing]
+    if not added:
+        raise ConfigurationError("no new consumers to add")
+
+    profilers: Dict[str, OperatorProfiler] = {}
+    new_decisions: List[ConsumptionDecision] = []
+    for consumer in added:
+        dataset = datasets.get(consumer.operator)
+        if dataset is None:
+            raise ConfigurationError(
+                f"no profiling dataset assigned for {consumer.operator!r}"
+            )
+        if dataset not in profilers:
+            profilers[dataset] = OperatorProfiler(library, dataset,
+                                                  clock=clock)
+        planner = ConsumptionPlanner(profilers[dataset])
+        new_decisions.append(planner.derive(consumer))
+
+    # Existing videos: bind each new CF to the cheapest satisfiable SF.
+    legacy = [
+        subscribe_to_existing(d, config.plan.formats) for d in new_decisions
+    ]
+
+    # Forthcoming videos: re-derive the configuration over the full
+    # consumer set, reusing the already-built profilers.
+    forthcoming = derive_configuration(
+        library,
+        consumers=list(config.consumers) + added,
+        profile_datasets=datasets,
+        clock=clock,
+        profilers=profilers,
+    )
+    return EvolvedConfiguration(forthcoming=forthcoming, legacy=legacy)
+
+
+def reprofile_for_hardware(
+    library: OperatorLibrary,
+    config: Configuration,
+    speedup: float,
+    profile_datasets: Optional[Dict[str, str]] = None,
+) -> Configuration:
+    """Re-derive the configuration after a hardware change (Section 7).
+
+    ``speedup`` scales every operator's consumption speed (e.g. 2.0 for a
+    GPU twice as fast).  All operators are re-profiled; the caller applies
+    the new SFs to forthcoming videos only, exactly as with operator
+    additions.
+    """
+    if speedup <= 0:
+        raise ConfigurationError(f"speedup must be positive: {speedup}")
+    for op in library:
+        # Faster hardware divides the per-frame costs.
+        op.cost_base = op.cost_base / speedup
+        op.cost_per_mp = op.cost_per_mp / speedup
+    try:
+        return derive_configuration(
+            library,
+            consumers=config.consumers,
+            profile_datasets=profile_datasets,
+        )
+    finally:
+        for op in library:
+            op.cost_base = op.cost_base * speedup
+            op.cost_per_mp = op.cost_per_mp * speedup

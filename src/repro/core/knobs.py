@@ -1,0 +1,46 @@
+"""Knob-space arithmetic: the sizes that motivate automatic configuration.
+
+Section 4.1 counts the possible global configurations to argue exhaustive
+search is infeasible; this module exposes those counts for our knob domains
+(600 fidelity options, 26 coding options, |F x C| = 15,600 storage formats —
+the paper's "15K possible combinations").
+"""
+
+from __future__ import annotations
+
+from repro.video.coding import coding_space_size
+from repro.video.fidelity import fidelity_space_size, knob_counts
+
+
+def consumption_space_size() -> int:
+    """|F| — options for one consumption format."""
+    return fidelity_space_size()
+
+
+def storage_space_size(include_raw: bool = True) -> int:
+    """|F x C| — options for one storage format (~15K)."""
+    return fidelity_space_size() * coding_space_size(include_raw)
+
+
+def configuration_space_size(n_consumers: int, n_storage_formats: int) -> int:
+    """Size of the global configuration space for a deployment: every
+    consumer picks a consumption format and every stored version picks a
+    storage format (the paper's 2415^150-scale number)."""
+    return (
+        consumption_space_size() ** n_consumers
+        * storage_space_size() ** n_storage_formats
+    )
+
+
+def boundary_search_run_bound() -> int:
+    """Upper bound on profiling runs per consumer for the Section 4.2
+    search: O((N_sample + N_res) * N_crop + N_quality)."""
+    counts = knob_counts()
+    return (counts["sampling"] + counts["resolution"]) * counts["crop"] + counts[
+        "quality"
+    ]
+
+
+def exhaustive_run_bound() -> int:
+    """Profiling runs per consumer under exhaustive search: |F|."""
+    return fidelity_space_size()

@@ -1,0 +1,160 @@
+"""The VStore facade: configure, ingest, query, age — one object.
+
+This is the public entry point a downstream user works with::
+
+    store = VStore(workdir="/tmp/vstore")
+    config = store.configure()
+    store.ingest("jackson", n_segments=8)
+    report = store.query("A", dataset="jackson", accuracy=0.9,
+                         duration=3600.0)
+    print(report.speed)  # x realtime
+
+Everything underneath — profiling, backward derivation, transcoding fan-out,
+segment storage, retrieval, cascade execution, erosion — is reachable through
+the subpackages, but the facade covers the common paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.clock import SimClock
+from repro.core.config import (
+    Configuration,
+    DEFAULT_PROFILE_DATASETS,
+    derive_configuration,
+)
+from repro.errors import ConfigurationError, QueryError
+from repro.ingest.budget import IngestBudget
+from repro.ingest.pipeline import IngestionPipeline, IngestionReport
+from repro.operators.library import OperatorLibrary, default_library
+from repro.query.cascade import cascade_for
+from repro.query.engine import ExecutionResult, QueryEngine, QueryReport
+from repro.storage.disk import DiskModel
+from repro.storage.kvstore import KVStore
+from repro.storage.lifespan import apply_erosion_step
+from repro.storage.segment_store import SegmentStore
+
+
+class VStore:
+    """A data store for analytics on large videos."""
+
+    def __init__(
+        self,
+        workdir: Optional[str] = None,
+        library: Optional[OperatorLibrary] = None,
+        profile_datasets: Optional[Dict[str, str]] = None,
+        ingest_budget: IngestBudget = IngestBudget(),
+        storage_budget_bytes: Optional[float] = None,
+        lifespan_days: int = 10,
+    ):
+        self.library = library or default_library()
+        self.profile_datasets = dict(profile_datasets or DEFAULT_PROFILE_DATASETS)
+        self.ingest_budget = ingest_budget
+        self.storage_budget_bytes = storage_budget_bytes
+        self.lifespan_days = lifespan_days
+        self.clock = SimClock()
+        self._config: Optional[Configuration] = None
+        self._pipelines: Dict[str, IngestionPipeline] = {}
+
+        self.workdir = workdir
+        self.segments: Optional[SegmentStore] = None
+        self._kv: Optional[KVStore] = None
+        if workdir is not None:
+            os.makedirs(workdir, exist_ok=True)
+            self._kv = KVStore(os.path.join(workdir, "segments.vstore"))
+            self.segments = SegmentStore(self._kv, DiskModel(clock=self.clock))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._kv is not None:
+            self._kv.close()
+
+    def __enter__(self) -> "VStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- configuration -------------------------------------------------------------
+
+    def configure(self, force: bool = False) -> Configuration:
+        """Derive (or return the cached) video-format configuration."""
+        if self._config is None or force:
+            self._config = derive_configuration(
+                self.library,
+                profile_datasets=self.profile_datasets,
+                ingest_budget=self.ingest_budget,
+                storage_budget_bytes=self.storage_budget_bytes,
+                lifespan_days=self.lifespan_days,
+                clock=self.clock,
+            )
+        return self._config
+
+    @property
+    def configuration(self) -> Configuration:
+        if self._config is None:
+            raise ConfigurationError("call configure() before using the store")
+        return self._config
+
+    # -- ingestion ------------------------------------------------------------------
+
+    def _pipeline(self, dataset: str) -> IngestionPipeline:
+        if dataset not in self._pipelines:
+            self._pipelines[dataset] = IngestionPipeline(
+                dataset,
+                self.configuration.storage_formats,
+                store=self.segments,
+                clock=self.clock,
+                budget=self.ingest_budget,
+            )
+        return self._pipelines[dataset]
+
+    def ingest(self, dataset: str, n_segments: int,
+               start_index: int = 0) -> None:
+        """Transcode and store ``n_segments`` of a stream in every SF."""
+        if self.segments is None:
+            raise ConfigurationError("ingestion requires a workdir-backed store")
+        self._pipeline(dataset).ingest_segments(n_segments, start_index)
+
+    def ingestion_report(self, dataset: str) -> IngestionReport:
+        """Analytic per-stream storage and transcode cost (Figure 11b/c)."""
+        return self._pipeline(dataset).report()
+
+    # -- queries ------------------------------------------------------------------------
+
+    def engine(self, dataset: str) -> QueryEngine:
+        return QueryEngine(self.configuration, self.library, dataset)
+
+    def query(self, query: str, dataset: str, accuracy: float,
+              duration: float) -> QueryReport:
+        """Analytic end-to-end speed of a benchmark query ("A" or "B")."""
+        return self.engine(dataset).estimate(
+            cascade_for(query), accuracy, duration
+        )
+
+    def execute(self, query: str, dataset: str, accuracy: float,
+                t0: float, t1: float) -> ExecutionResult:
+        """Actually run a query over stored segments."""
+        if self.segments is None:
+            raise QueryError("execution requires a workdir-backed store")
+        return self.engine(dataset).execute(
+            cascade_for(query), accuracy, self.segments, t0, t1
+        )
+
+    # -- aging ----------------------------------------------------------------------------
+
+    def age(self, dataset: str, now_seconds: float) -> int:
+        """Apply the erosion plan to stored footage; returns deletions."""
+        if self.segments is None:
+            raise ConfigurationError("aging requires a workdir-backed store")
+        config = self.configuration
+        if config.erosion is None:
+            return 0
+        fraction_map = config.erosion.deleted_fraction_map(config.plan.formats)
+        return apply_erosion_step(
+            self.segments, dataset, fraction_map, now_seconds,
+            self.lifespan_days,
+        )

@@ -1,0 +1,14 @@
+"""Ingestion: transcoding arriving streams into the storage-format set.
+
+Each ingested stream is transcoded — in real time, as it arrives — into
+every storage format of the current configuration (plus stored raw for
+bypass formats).  Ingestion cost is measured in CPU cores: the paper caps
+the cores available to one stream's transcoder to impose a budget
+(Table 4).
+"""
+
+from repro.ingest.budget import IngestBudget
+from repro.ingest.pipeline import IngestionPipeline, IngestionReport
+from repro.ingest.transcoder import Transcoder
+
+__all__ = ["IngestBudget", "IngestionPipeline", "IngestionReport", "Transcoder"]

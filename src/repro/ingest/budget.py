@@ -1,0 +1,45 @@
+"""Ingestion budget: CPU cores available to transcode one stream.
+
+The required core count for a storage-format set is the sum of one-core
+encode costs per video second — a format that encodes at 0.5x realtime on
+one core needs two cores to keep up with a live stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.codec.model import CodecModel, DEFAULT_CODEC
+from repro.video.format import StorageFormat
+
+
+def cores_required(
+    formats: Iterable[StorageFormat], codec: CodecModel = DEFAULT_CODEC
+) -> float:
+    """CPU cores needed to transcode one live stream into ``formats``."""
+    return sum(
+        codec.encode_seconds_per_video_second(f.fidelity, f.coding)
+        for f in formats
+    )
+
+
+@dataclass(frozen=True)
+class IngestBudget:
+    """A cap on transcoding cores per ingested stream (None = unlimited)."""
+
+    cores: Optional[float] = None
+
+    def allows(self, formats: Iterable[StorageFormat],
+               codec: CodecModel = DEFAULT_CODEC) -> bool:
+        """Whether the format set can be sustained within the budget."""
+        if self.cores is None:
+            return True
+        return cores_required(formats, codec) <= self.cores + 1e-9
+
+    def headroom(self, formats: Iterable[StorageFormat],
+                 codec: CodecModel = DEFAULT_CODEC) -> float:
+        """Remaining cores (negative when over budget; inf when unlimited)."""
+        if self.cores is None:
+            return float("inf")
+        return self.cores - cores_required(formats, codec)

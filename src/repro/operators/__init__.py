@@ -1,0 +1,55 @@
+"""The operator library (Table 2) and its accuracy/cost machinery.
+
+Operators are the algorithmic consumers of Section 2.  Each one exposes:
+
+* a **consumption cost** model — simulated CPU/GPU seconds per consumed
+  frame as a function of fidelity (never of image quality: observation O2);
+* a **detection model** — how well it recovers ground truth as a function
+  of fidelity.  Accuracy is *measured* as an F1 score against the
+  operator's own output at the ingest fidelity (the paper's ground-truth
+  convention), via expected confusion counts over a clip's synthetic
+  ground truth.  Both accuracy and cost are monotone in every fidelity
+  knob (observation O1).
+
+Nine operators are provided, matching Table 2: Diff, S-NN, NN, Motion,
+License, OCR, Opflow, Color, Contour.
+"""
+
+from repro.operators.accuracy import Confusion, f1_score
+from repro.operators.base import Operator
+from repro.operators.color import ColorOperator
+from repro.operators.contour import ContourOperator
+from repro.operators.detector import DetectorOperator
+from repro.operators.diff import DiffOperator
+from repro.operators.library import (
+    Consumer,
+    OperatorLibrary,
+    default_library,
+)
+from repro.operators.license import LicenseOperator
+from repro.operators.motion import MotionOperator
+from repro.operators.nn import NNOperator
+from repro.operators.ocr import OCROperator
+from repro.operators.opflow import OpflowOperator
+from repro.operators.signal_op import SignalOperator
+from repro.operators.snn import SNNOperator
+
+__all__ = [
+    "ColorOperator",
+    "Confusion",
+    "Consumer",
+    "ContourOperator",
+    "DetectorOperator",
+    "DiffOperator",
+    "LicenseOperator",
+    "MotionOperator",
+    "NNOperator",
+    "OCROperator",
+    "OpflowOperator",
+    "Operator",
+    "OperatorLibrary",
+    "SignalOperator",
+    "SNNOperator",
+    "default_library",
+    "f1_score",
+]

@@ -1,0 +1,51 @@
+"""Accuracy metric: the F1 score over (expected) confusion counts.
+
+The paper uses F1 — the harmonic mean of precision and recall — with the
+operator's output on the ingest-format video as ground truth (Section 6.1).
+Confusion counts here are *expected* counts: detection models yield
+per-frame probabilities, and summing probabilities gives deterministic,
+smooth accuracy surfaces suitable for the monotone boundary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Expected true-positive / false-positive / false-negative counts."""
+
+    tp: float
+    fp: float
+    fn: float
+
+    def __add__(self, other: "Confusion") -> "Confusion":
+        return Confusion(self.tp + other.tp, self.fp + other.fp, self.fn + other.fn)
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom > 0 else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom > 0 else 1.0
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.tp, self.fp, self.fn)
+
+
+def f1_score(tp: float, fp: float, fn: float) -> float:
+    """F1 = 2·TP / (2·TP + FP + FN); defined as 1.0 on an empty clip.
+
+    An empty clip (no positives in truth, none predicted) carries no
+    evidence of error, so it scores 1.0 — this also makes the score of the
+    ingest fidelity exactly 1.0, the paper's normalization.
+    """
+    denom = 2.0 * tp + fp + fn
+    if denom <= 0.0:
+        return 1.0
+    return 2.0 * tp / denom

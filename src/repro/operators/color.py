@@ -1,0 +1,44 @@
+"""Color: detector for objects of a specific color (BlazeIt-style filter).
+
+Color thresholds pixel statistics inside candidate regions.  It is cheap
+and works at small resolutions but leans on color fidelity, which
+compression destroys early (chroma is subsampled and quantized first), so
+its quality sensitivity is high.
+"""
+
+from __future__ import annotations
+
+from repro.operators.detector import DetectorOperator
+from repro.video.content import VEHICLE_COLORS, Track
+
+
+class ColorOperator(DetectorOperator):
+    """Detector for contents of a specific color [BlazeIt]."""
+
+    name = "Color"
+    platform = "cpu"
+
+    # Cost: per-pixel color space math.
+    cost_base = 9e-6
+    cost_per_mp = 2.2e-4
+    cost_gamma = 1.0
+
+    #: The color this instance searches for.
+    target_color: str = "red"
+
+    target_kinds = ("car",)
+    feature_scale = 0.8
+    theta = 2.2  # a small blob of pixels suffices
+    width = 0.5
+    quality_alpha = 2.0  # chroma dies first under compression
+    fp_base = 0.04
+
+    def __init__(self, target_color: str = "red"):
+        if target_color not in VEHICLE_COLORS:
+            raise ValueError(
+                f"unknown color {target_color!r}; choose from {VEHICLE_COLORS}"
+            )
+        self.target_color = target_color
+
+    def is_target(self, track: Track) -> bool:
+        return super().is_target(track) and track.color == self.target_color

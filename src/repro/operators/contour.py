@@ -1,0 +1,30 @@
+"""Contour: contour-boundary detector (OpenCV findContours-style).
+
+Contour extraction binarizes edges and traces boundaries.  Edges are the
+first casualty of compression (ringing and blocking erase them), so this
+operator has the strongest quality sensitivity in the library while being
+nearly free computationally.
+"""
+
+from __future__ import annotations
+
+from repro.operators.detector import DetectorOperator
+
+
+class ContourOperator(DetectorOperator):
+    """Detector for contour boundaries [OpenCV]."""
+
+    name = "Contour"
+    platform = "cpu"
+
+    # Cost: edge filter + border following, linear in pixels.
+    cost_base = 2.5e-5
+    cost_per_mp = 1.1e-3
+    cost_gamma = 1.0
+
+    target_kinds = ("car", "person")
+    feature_scale = 1.0
+    theta = 2.75
+    width = 0.5
+    quality_alpha = 2.8  # edges vanish under compression artifacts
+    fp_base = 0.08

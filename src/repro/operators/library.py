@@ -1,0 +1,117 @@
+"""Operator library and consumers.
+
+VStore assumes a pre-defined library of operators, each runnable at a
+pre-defined set of accuracy levels (Section 2.2).  A *consumer* is one
+``<operator, accuracy>`` tuple; the whole set of consumers drives the
+backward derivation of configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.operators.base import Operator
+from repro.operators.color import ColorOperator
+from repro.operators.contour import ContourOperator
+from repro.operators.diff import DiffOperator
+from repro.operators.license import LicenseOperator
+from repro.operators.motion import MotionOperator
+from repro.operators.nn import NNOperator
+from repro.operators.ocr import OCROperator
+from repro.operators.opflow import OpflowOperator
+from repro.operators.snn import SNNOperator
+
+#: Accuracy levels the admin declares for every operator (Section 6.1).
+DEFAULT_ACCURACIES: Tuple[float, ...] = (0.95, 0.90, 0.80, 0.70)
+
+#: Order in which Table 2 lists operators (used by Figure 12's sweep).
+TABLE2_ORDER: Tuple[str, ...] = (
+    "Diff", "S-NN", "NN", "Motion", "License", "OCR", "Opflow", "Color", "Contour",
+)
+
+
+@dataclass(frozen=True)
+class Consumer:
+    """One <operator, accuracy> tuple — a video consumer (Section 2.2)."""
+
+    operator: str
+    accuracy: float
+
+    @property
+    def label(self) -> str:
+        return f"<{self.operator}, {self.accuracy:.2f}>"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+class OperatorLibrary:
+    """A registry of operators and their declared accuracy levels."""
+
+    def __init__(self, accuracies: Sequence[float] = DEFAULT_ACCURACIES):
+        self._ops: Dict[str, Operator] = {}
+        self.accuracies: Tuple[float, ...] = tuple(accuracies)
+
+    def register(self, op: Operator) -> None:
+        """Add an operator; replacing an existing name is an error."""
+        if op.name in self._ops:
+            raise QueryError(f"operator already registered: {op.name!r}")
+        self._ops[op.name] = op
+
+    def get(self, name: str) -> Operator:
+        try:
+            return self._ops[name]
+        except KeyError:
+            known = ", ".join(sorted(self._ops))
+            raise QueryError(
+                f"unknown operator {name!r}; library holds: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self._ops.values())
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._ops)
+
+    def consumers(self, names: Sequence[str] = ()) -> List[Consumer]:
+        """All <operator, accuracy> consumers for the given operators
+        (default: every registered operator) at every declared accuracy."""
+        selected = names or self.names
+        return [
+            Consumer(operator=name, accuracy=acc)
+            for name in selected
+            for acc in self.accuracies
+        ]
+
+
+def default_library(
+    accuracies: Sequence[float] = DEFAULT_ACCURACIES,
+    names: Sequence[str] = TABLE2_ORDER,
+) -> OperatorLibrary:
+    """The Table-2 library (optionally restricted to a subset of operators)."""
+    factories = {
+        "Diff": DiffOperator,
+        "S-NN": SNNOperator,
+        "NN": NNOperator,
+        "Motion": MotionOperator,
+        "License": LicenseOperator,
+        "OCR": OCROperator,
+        "Opflow": OpflowOperator,
+        "Color": ColorOperator,
+        "Contour": ContourOperator,
+    }
+    lib = OperatorLibrary(accuracies)
+    for name in names:
+        if name not in factories:
+            raise QueryError(f"unknown operator name {name!r}")
+        lib.register(factories[name]())
+    return lib

@@ -1,0 +1,33 @@
+"""License: license-plate region detector (OpenALPR).
+
+License scans frames for plate-shaped regions, passing candidates to OCR.
+The detected feature is the plate, roughly a quarter of the vehicle's
+height, so the operator needs substantially richer resolution than a
+vehicle detector — the paper's configuration gives it 540p inputs.  Its
+CPU implementation also makes it the costliest non-NN operator per pixel
+(it dominates profiling time in Figure 14).
+"""
+
+from __future__ import annotations
+
+from repro.operators.detector import DetectorOperator
+
+
+class LicenseOperator(DetectorOperator):
+    """License-plate region detector [OpenALPR]."""
+
+    name = "License"
+    platform = "cpu"
+
+    # Cost: CPU cascade over the full frame, linear in pixels.
+    cost_base = 5.5e-4
+    cost_per_mp = 9.2e-3
+    cost_gamma = 1.0
+
+    target_kinds = ("car",)
+    requires_plate = True
+    feature_scale = 0.25  # the plate is ~1/4 of the vehicle height
+    theta = 2.4
+    width = 0.38
+    quality_alpha = 1.5  # plate edges blur fast with compression
+    fp_base = 0.03

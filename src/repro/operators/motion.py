@@ -1,0 +1,47 @@
+"""Motion: background-subtraction motion detector (OpenALPR front filter).
+
+Motion maintains a background model and flags frames containing moving
+foreground.  Background subtraction is robust to compression noise (the
+model absorbs it) and works at tiny resolutions — the paper's derived
+configuration gives Motion ``bad``-quality 144p/180p inputs even at 0.9
+accuracy.  Its main fidelity sensitivities are the crop factor (objects
+outside the cropped view are lost) and very low resolutions where small
+objects no longer cover any pixels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.signal_op import SignalOperator
+from repro.video.content import ClipTruth
+
+
+class MotionOperator(SignalOperator):
+    """Motion detector using background subtraction [OpenALPR]."""
+
+    name = "Motion"
+    platform = "cpu"
+
+    # Cost: background model update + morphology, linear in pixels.
+    cost_base = 1.2e-5
+    cost_per_mp = 7.5e-4
+    cost_gamma = 1.0
+
+    # Signal: foreground area of *moving* objects; camera shake contributes
+    # weakly because the background model partially absorbs it.
+    threshold = 0.06
+    noise_floor = 5.0e-4
+    quality_noise = 0.008  # background model absorbs compression noise
+    quality_alpha = 1.0
+    detect_theta = 2.1
+    detect_width = 0.55
+    camera_weight = 0.2
+
+    def object_contribution(self, clip: ClipTruth) -> np.ndarray:
+        """Foreground area, gated on the object actually moving."""
+        if not clip.tracks:
+            return np.zeros(0)
+        return np.array(
+            [t.size * min(1.0, t.speed / 0.05) for t in clip.tracks]
+        )

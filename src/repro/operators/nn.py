@@ -1,0 +1,32 @@
+"""NN: generic full neural network (YOLOv2 in the paper).
+
+The full network is the expensive last stage of Query A.  Being deep and
+trained on diverse data, it is robust: it detects smaller objects than the
+specialized shallow net and tolerates lower image quality, but each frame
+costs milliseconds of GPU time almost independent of input resolution
+(inputs are resized into the network anyway), so its consumption speed is
+dominated by the frame sampling rate.
+"""
+
+from __future__ import annotations
+
+from repro.operators.detector import DetectorOperator
+
+
+class NNOperator(DetectorOperator):
+    """Generic deep NN detector, e.g. YOLOv2 [Redmon et al.]."""
+
+    name = "NN"
+    platform = "gpu"
+
+    # Cost: fixed multi-millisecond inference, mild resolution scaling.
+    cost_base = 7.2e-3
+    cost_per_mp = 2.4e-3
+    cost_gamma = 0.6
+
+    target_kinds = ("car", "person")
+    feature_scale = 1.0
+    theta = 2.55  # robust to small objects
+    width = 0.5
+    quality_alpha = 1.0  # deep nets tolerate compression
+    fp_base = 0.02

@@ -1,0 +1,31 @@
+"""OCR: optical character recognition on plate regions (OpenALPR).
+
+OCR reads the characters inside detected plate regions.  Characters are a
+fraction of the plate's height, making OCR the most resolution-hungry
+operator in the library: the paper's configuration keeps 540p-720p inputs
+at ``best``/``good`` quality even for 0.8-target accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.operators.detector import DetectorOperator
+
+
+class OCROperator(DetectorOperator):
+    """Optical character recognition on license plates [OpenALPR]."""
+
+    name = "OCR"
+    platform = "cpu"
+
+    # Cost: per-region classification, moderate pixel scaling.
+    cost_base = 2.8e-3
+    cost_per_mp = 6.0e-3
+    cost_gamma = 1.0
+
+    target_kinds = ("car",)
+    requires_plate = True
+    feature_scale = 0.25
+    theta = 3.05  # characters need more pixels than plate boxes
+    width = 0.32
+    quality_alpha = 1.8  # glyph strokes vanish with compression
+    fp_base = 0.03

@@ -1,0 +1,31 @@
+"""S-NN: specialized shallow neural network detecting one object class.
+
+NoScope's model search produces a very shallow AlexNet specialized for the
+queried class (cars here).  It is orders of magnitude cheaper than a full
+NN but far more brittle: it needs sharp, good-sized inputs, so both its
+size threshold and its quality sensitivity are high.  Table 3 shows VStore
+giving S-NN ``best`` quality at ~200p across accuracy levels.
+"""
+
+from __future__ import annotations
+
+from repro.operators.detector import DetectorOperator
+
+
+class SNNOperator(DetectorOperator):
+    """Specialized shallow NN for one object class [NoScope]."""
+
+    name = "S-NN"
+    platform = "gpu"
+
+    # Cost: a few conv layers on GPU; nearly resolution-flat.
+    cost_base = 4.2e-5
+    cost_per_mp = 1.6e-4
+    cost_gamma = 0.7
+
+    target_kinds = ("car",)
+    feature_scale = 1.0
+    theta = 3.05  # needs reasonably sized objects
+    width = 0.42
+    quality_alpha = 2.3  # shallow nets are brittle to compression
+    fp_base = 0.05

@@ -1,0 +1,18 @@
+"""Profiling: measuring operator and coding behaviour on sample clips.
+
+VStore periodically profiles every operator and the codec on short sample
+clips (10 seconds in the paper) and memoizes results within a configuration
+round.  Profiling cost is the dominant configuration overhead (Sections 4.2
+and 4.3, Figure 14), so both profilers count runs, memo hits and simulated
+profiling time.
+"""
+
+from repro.profiler.coding_profiler import CodingProfile, CodingProfiler
+from repro.profiler.profiler import OperatorProfile, OperatorProfiler
+
+__all__ = [
+    "CodingProfile",
+    "CodingProfiler",
+    "OperatorProfile",
+    "OperatorProfiler",
+]

@@ -1,0 +1,168 @@
+"""Operator profiler: fidelity -> (accuracy, consumption speed).
+
+For each profiling run the store prepares sample frames at fidelity f, runs
+the operator over them and measures accuracy and consumption speed
+(Section 4.2).  Within one configuration process results are memoized — the
+paper notes that profiling an operator's four accuracy levels shares runs,
+and Section 6.4 reports 92% memoization during coalescing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.operators.base import Operator
+from repro.operators.library import OperatorLibrary
+from repro.units import PROFILE_CLIP_SECONDS
+from repro.video.content import ClipTruth
+from repro.video.datasets import get_dataset
+from repro.video.fidelity import Fidelity
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One profiling measurement."""
+
+    operator: str
+    fidelity: Fidelity
+    accuracy: float
+    consumption_speed: float  # x realtime
+
+    @property
+    def consumption_cost(self) -> float:
+        """Reciprocal speed: seconds of compute per video second."""
+        speed = self.consumption_speed
+        return 0.0 if speed == float("inf") else 1.0 / speed
+
+
+def select_profile_clip(
+    dataset: str,
+    clip_seconds: float = PROFILE_CLIP_SECONDS,
+    min_tracks: int = 4,
+    target_presence: float = 0.6,
+    scan_step: float = 16.0,
+    scan_limit: float = 2048.0,
+) -> ClipTruth:
+    """Pick a representative sample clip from a stream.
+
+    Profiling is only informative on footage that actually contains events
+    (the paper profiles hand-picked benchmark videos).  This helper scans
+    candidate offsets and returns the clip that has at least ``min_tracks``
+    tracks, at least one readable plate, and an object-presence fraction
+    closest to ``target_presence`` (so both positives and negatives occur).
+    Falls back to the densest clip seen when no candidate qualifies.
+    """
+    model = get_dataset(dataset).content()
+    best: Optional[Tuple[float, ClipTruth]] = None
+    densest: Optional[Tuple[int, ClipTruth]] = None
+    t0 = 0.0
+    while t0 < scan_limit:
+        clip = model.clip(t0, clip_seconds)
+        n = len(clip.tracks)
+        if densest is None or n > densest[0]:
+            densest = (n, clip)
+        if n >= min_tracks and any(tr.plate for tr in clip.tracks):
+            presence = (
+                float(clip.visible.any(axis=0).mean()) if clip.tracks else 0.0
+            )
+            score = abs(presence - target_presence)
+            if best is None or score < best[0]:
+                best = (score, clip)
+            if score < 0.1:
+                break
+        t0 += scan_step
+    if best is not None:
+        return best[1]
+    if densest is not None:
+        return densest[1]
+    return model.clip(0.0, clip_seconds)
+
+
+@dataclass
+class ProfilerStats:
+    """Accounting of profiling effort (Figure 14)."""
+
+    runs: int = 0
+    memo_hits: int = 0
+    seconds: float = 0.0
+    runs_by_operator: Dict[str, int] = field(default_factory=dict)
+    seconds_by_operator: Dict[str, float] = field(default_factory=dict)
+
+
+class OperatorProfiler:
+    """Profiles operators of a library over one dataset's sample clip."""
+
+    def __init__(
+        self,
+        library: OperatorLibrary,
+        dataset: str,
+        clip_t0: Optional[float] = None,
+        clip_seconds: float = PROFILE_CLIP_SECONDS,
+        clock: Optional[SimClock] = None,
+        prep_overhead: float = 0.35,
+    ):
+        self.library = library
+        self.dataset = dataset
+        self.clip_seconds = clip_seconds
+        self.clock = clock or SimClock()
+        #: Fixed simulated seconds per run for preparing sample frames
+        #: (decoding and resizing the 10-second sample clip).
+        self.prep_overhead = prep_overhead
+        self.stats = ProfilerStats()
+        if clip_t0 is None:
+            self._clip = select_profile_clip(dataset, clip_seconds)
+        else:
+            self._clip = get_dataset(dataset).content().clip(
+                clip_t0, clip_seconds
+            )
+        self._memo: Dict[Tuple[str, Fidelity], OperatorProfile] = {}
+
+    @property
+    def clip(self) -> ClipTruth:
+        """The profiling sample clip's ground truth."""
+        return self._clip
+
+    def profile(self, operator: str, fidelity: Fidelity) -> OperatorProfile:
+        """Measure (accuracy, speed) for one operator at one fidelity.
+
+        Memoized: repeated requests within this profiler are free, which is
+        what lets the boundary search and multiple accuracy levels share
+        profiling runs.
+        """
+        key = (operator, fidelity)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+
+        op: Operator = self.library.get(operator)
+        accuracy = op.accuracy(self._clip, fidelity)
+        speed = op.consumption_speed(fidelity)
+        # Charge the simulated cost of actually running the operator over
+        # the sample clip, plus sample preparation.
+        run_seconds = (
+            op.consumption_seconds(fidelity, self.clip_seconds) + self.prep_overhead
+        )
+        self.clock.charge(run_seconds, "profiling")
+        self.stats.runs += 1
+        self.stats.seconds += run_seconds
+        self.stats.runs_by_operator[operator] = (
+            self.stats.runs_by_operator.get(operator, 0) + 1
+        )
+        self.stats.seconds_by_operator[operator] = (
+            self.stats.seconds_by_operator.get(operator, 0.0) + run_seconds
+        )
+
+        result = OperatorProfile(operator, fidelity, accuracy, speed)
+        self._memo[key] = result
+        return result
+
+    def reset_stats(self) -> None:
+        """Zero the accounting counters (the memo is kept)."""
+        self.stats = ProfilerStats()
+
+    def clear_memo(self) -> None:
+        """Forget memoized profiles (a fresh configuration round)."""
+        self._memo.clear()

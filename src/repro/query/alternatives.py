@@ -1,0 +1,103 @@
+"""Alternative configuration schemes evaluated in Figure 11.
+
+* ``1->1`` stores only the golden format and consumes it at full fidelity:
+  a classic video database oblivious to algorithmic consumers;
+* ``1->N`` stores only the golden format but consumes VStore's derived
+  consumption formats, capping every consumer at the golden decode speed;
+* ``N->N`` stores one storage format per unique consumption format —
+  VStore without coalescing;
+* ``VStore`` is the full system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.coalesce import StorageFormatPlanner
+from repro.core.config import Configuration
+from repro.operators.library import Consumer
+from repro.profiler.coding_profiler import CodingProfiler
+from repro.video.fidelity import Fidelity
+from repro.video.format import StorageFormat
+
+
+@dataclass(frozen=True)
+class AlternativeScheme:
+    """One way of mapping consumers to consumption/storage formats."""
+
+    name: str
+    consumption_fidelity: Callable[[Consumer], Fidelity]
+    storage_format: Callable[[Consumer], StorageFormat]
+    storage_formats: List[StorageFormat]
+    #: Whether consumers reach their target accuracy (False only for 1->1,
+    #: which always consumes at full fidelity and accuracy 1.0).
+    honors_targets: bool = True
+
+
+def _golden(config: Configuration) -> StorageFormat:
+    return config.plan.golden.fmt
+
+
+def vstore_scheme(config: Configuration) -> AlternativeScheme:
+    """The full system: derived CFs subscribing to coalesced SFs."""
+    return AlternativeScheme(
+        name="VStore",
+        consumption_fidelity=lambda c: config.decision_for(c).fidelity,
+        storage_format=lambda c: config.storage_format(c),
+        storage_formats=config.storage_formats,
+    )
+
+
+def one_to_one_scheme(config: Configuration) -> AlternativeScheme:
+    """1->1: golden storage, golden consumption (accuracy fixed at 1.0)."""
+    golden = _golden(config)
+    return AlternativeScheme(
+        name="1->1",
+        consumption_fidelity=lambda c: golden.fidelity,
+        storage_format=lambda c: golden,
+        storage_formats=[golden],
+        honors_targets=False,
+    )
+
+
+def one_to_n_scheme(config: Configuration) -> AlternativeScheme:
+    """1->N: golden storage, VStore consumption formats."""
+    golden = _golden(config)
+    return AlternativeScheme(
+        name="1->N",
+        consumption_fidelity=lambda c: config.decision_for(c).fidelity,
+        storage_format=lambda c: golden,
+        storage_formats=[golden],
+    )
+
+
+def n_to_n_scheme(
+    config: Configuration, profiler: CodingProfiler
+) -> AlternativeScheme:
+    """N->N: one storage format per unique CF — VStore without coalescing.
+
+    Like every scheme, N->N also retains the ingest-fidelity (golden)
+    version: the store must keep the footage that defines ground truth and
+    serves unforeseen future operators, so skipping coalescing only *adds*
+    formats on top of it.
+    """
+    planner = StorageFormatPlanner(profiler)
+    initial = planner.initial_formats(config.decisions)
+    by_fidelity: Dict[Fidelity, StorageFormat] = {
+        sf.fidelity: sf.fmt for sf in initial if not sf.golden
+    }
+    golden = next(sf.fmt for sf in initial if sf.golden)
+
+    def sf_for(consumer: Consumer) -> StorageFormat:
+        return by_fidelity[config.decision_for(consumer).fidelity]
+
+    formats = list(by_fidelity.values())
+    if golden.fidelity not in by_fidelity:
+        formats.append(golden)
+    return AlternativeScheme(
+        name="N->N",
+        consumption_fidelity=lambda c: config.decision_for(c).fidelity,
+        storage_format=sf_for,
+        storage_formats=formats,
+    )

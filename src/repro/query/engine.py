@@ -1,0 +1,262 @@
+"""Query engine: estimating and executing cascades against the store.
+
+``estimate`` composes per-stage speeds analytically (how Figure 11a is
+produced); ``execute`` actually streams segments from a segment store
+through the decoder/disk to stochastic operator runs, charging all costs
+to a simulated clock — the full data path of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.clock import SimClock
+from repro.codec.model import CodecModel, DEFAULT_CODEC
+from repro.core.config import Configuration
+from repro.errors import QueryError
+from repro.operators.library import Consumer, OperatorLibrary
+from repro.query.alternatives import AlternativeScheme, vstore_scheme
+from repro.query.cascade import QueryCascade, stages_with_coverage
+from repro.retrieval.reader import SegmentReader
+from repro.retrieval.speed import retrieval_speed
+from repro.rng import rng_for
+from repro.storage.disk import DiskModel, DEFAULT_DISK
+from repro.storage.segment_store import SegmentStore
+from repro.video.datasets import get_dataset
+from repro.video.fidelity import Fidelity
+from repro.video.format import StorageFormat
+from repro.video.segment import segments_for_range
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Speed breakdown of one cascade stage."""
+
+    operator: str
+    accuracy: float  # target accuracy (1.0 under the 1->1 scheme)
+    fidelity: Fidelity
+    storage_format: StorageFormat
+    consumption_speed: float  # x realtime
+    retrieval_speed: float  # x realtime
+    coverage: float  # fraction of the queried span this stage scans
+    selectivity: float  # fraction of frames it passes downstream
+
+    @property
+    def effective_speed(self) -> float:
+        """The stage runs at the slower of retrieval and consumption."""
+        return min(self.consumption_speed, self.retrieval_speed)
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """End-to-end analytic query outcome."""
+
+    query: str
+    dataset: str
+    scheme: str
+    accuracy: float
+    duration: float  # queried video seconds
+    stages: List[StageReport]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(
+            s.coverage * self.duration / s.effective_speed
+            for s in self.stages
+            if s.effective_speed > 0
+        )
+
+    @property
+    def speed(self) -> float:
+        """Query speed in x video realtime (Figure 11a's metric)."""
+        total = self.total_seconds
+        return float("inf") if total <= 0 else self.duration / total
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of actually executing a cascade against a segment store."""
+
+    query: str
+    dataset: str
+    video_seconds: float
+    compute_seconds: float
+    speed: float
+    positives_per_stage: Dict[str, int] = field(default_factory=dict)
+    segments_per_stage: Dict[str, int] = field(default_factory=dict)
+
+
+class QueryEngine:
+    """Runs cascades against one dataset under one configuration."""
+
+    #: Sample length (video seconds) used for selectivity estimation.
+    SELECTIVITY_SAMPLE = 32.0
+
+    def __init__(
+        self,
+        config: Configuration,
+        library: OperatorLibrary,
+        dataset: str,
+        codec: CodecModel = DEFAULT_CODEC,
+        disk: DiskModel = DEFAULT_DISK,
+    ):
+        self.config = config
+        self.library = library
+        self.dataset = dataset
+        self.codec = codec
+        self.disk = disk
+        self._content = get_dataset(dataset).content()
+        self._sample = self._content.clip(0.0, self.SELECTIVITY_SAMPLE)
+
+    # -- analytic estimation --------------------------------------------------------
+
+    def estimate(
+        self,
+        query: QueryCascade,
+        accuracy: float,
+        duration: float,
+        scheme: Optional[AlternativeScheme] = None,
+    ) -> QueryReport:
+        """Analytic end-to-end query speed under a configuration scheme."""
+        return self.estimate_mixed(
+            query, {name: accuracy for name in query}, duration, scheme
+        )
+
+    def estimate_mixed(
+        self,
+        query: QueryCascade,
+        accuracies: Dict[str, float],
+        duration: float,
+        scheme: Optional[AlternativeScheme] = None,
+    ) -> QueryReport:
+        """Like :meth:`estimate`, with a per-operator accuracy selection —
+        users pick accuracy levels per constituting operator (Section 6.1).
+        """
+        scheme = scheme or vstore_scheme(self.config)
+        selectivities: List[float] = []
+        stages: List[StageReport] = []
+        for name in query:
+            op = self.library.get(name)
+            try:
+                accuracy = accuracies[name]
+            except KeyError:
+                raise QueryError(
+                    f"no accuracy selected for operator {name!r}"
+                ) from None
+            consumer = Consumer(name, accuracy)
+            fidelity = scheme.consumption_fidelity(consumer)
+            fmt = scheme.storage_format(consumer)
+            selectivities.append(
+                op.expected_positive_fraction(self._sample, fidelity)
+            )
+            stages.append(
+                StageReport(
+                    operator=name,
+                    accuracy=accuracy if scheme.honors_targets else 1.0,
+                    fidelity=fidelity,
+                    storage_format=fmt,
+                    consumption_speed=op.consumption_speed(fidelity),
+                    retrieval_speed=retrieval_speed(
+                        fmt, fidelity.sampling, self.codec, self.disk
+                    ),
+                    coverage=1.0,  # placeholder, fixed below
+                    selectivity=selectivities[-1],
+                )
+            )
+        coverages = stages_with_coverage(selectivities)
+        stages = [
+            StageReport(
+                operator=s.operator,
+                accuracy=s.accuracy,
+                fidelity=s.fidelity,
+                storage_format=s.storage_format,
+                consumption_speed=s.consumption_speed,
+                retrieval_speed=s.retrieval_speed,
+                coverage=c,
+                selectivity=s.selectivity,
+            )
+            for s, c in zip(stages, coverages)
+        ]
+        return QueryReport(
+            query=query.label,
+            dataset=self.dataset,
+            scheme=scheme.name,
+            accuracy=min(accuracies[name] for name in query),
+            duration=duration,
+            stages=stages,
+        )
+
+    # -- actual execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        query: QueryCascade,
+        accuracy: float,
+        store: SegmentStore,
+        t0: float,
+        t1: float,
+        scheme: Optional[AlternativeScheme] = None,
+        clock: Optional[SimClock] = None,
+        contexts: int = 1,
+    ) -> ExecutionResult:
+        """Stream segments through retrieval into stochastic operator runs.
+
+        Stage i+1 only touches segments in which stage i produced at least
+        one positive frame — the cascade structure of Figure 2 at segment
+        granularity.  ``contexts`` > 1 scales consumption the way the
+        paper's Section-5 scheduler does: segments are dispatched across
+        that many operator contexts and the stage pays the makespan.
+        """
+        from repro.query.scheduler import dispatch
+
+        if t1 <= t0:
+            raise QueryError(f"empty query range [{t0}, {t1})")
+        scheme = scheme or vstore_scheme(self.config)
+        clock = clock or SimClock()
+        segments = segments_for_range(self.dataset, t0, t1)
+        active = list(segments)
+        positives: Dict[str, int] = {}
+        touched: Dict[str, int] = {}
+
+        for name in query:
+            op = self.library.get(name)
+            consumer = Consumer(name, accuracy)
+            fidelity = scheme.consumption_fidelity(consumer)
+            fmt = scheme.storage_format(consumer)
+            reader = SegmentReader(store, fmt, fidelity, self.codec, clock)
+            survivors = []
+            n_pos = 0
+            consume_costs = []
+            for segment in active:
+                retrieved = reader.read(self.dataset, segment.index)
+                clip = self._content.clip(segment.t0, segment.seconds)
+                consume_costs.append(
+                    op.cost_per_frame(fidelity) * retrieved.n_frames
+                )
+                rng = rng_for("query", name, self.dataset, segment.index,
+                              fidelity.label)
+                output = op.run(clip, fidelity, rng)
+                hits = int(np.asarray(output).sum())
+                if hits > 0:
+                    survivors.append(segment)
+                    n_pos += hits
+            clock.charge(dispatch(consume_costs, contexts).makespan,
+                         "consume")
+            positives[name] = n_pos
+            touched[name] = len(active)
+            active = survivors
+
+        video_seconds = t1 - t0
+        compute = clock.now
+        return ExecutionResult(
+            query=query.label,
+            dataset=self.dataset,
+            video_seconds=video_seconds,
+            compute_seconds=compute,
+            speed=float("inf") if compute <= 0 else video_seconds / compute,
+            positives_per_stage=positives,
+            segments_per_stage=touched,
+        )

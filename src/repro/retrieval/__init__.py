@@ -1,0 +1,13 @@
+"""Retrieval: streaming stored segments to consumers.
+
+Retrieval speed is the realtime multiple at which a storage format can be
+turned back into raw frames for a given consumer: decode-bound for encoded
+formats (with chunk skipping under sparse sampling), disk-bound for raw
+formats.  Requirement R2 demands that retrieval never be slower than the
+downstream consumer.
+"""
+
+from repro.retrieval.reader import SegmentReader
+from repro.retrieval.speed import retrieval_speed
+
+__all__ = ["SegmentReader", "retrieval_speed"]

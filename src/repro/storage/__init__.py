@@ -1,0 +1,28 @@
+"""Storage substrate: key-value backend, disk model, segment store, aging.
+
+The paper stores 8-second segments as MB-size values in LMDB.  This
+subpackage provides:
+
+* :mod:`repro.storage.kvstore` — an embedded, durable key-value store
+  (append-only log + in-memory index + compaction) standing in for LMDB;
+* :mod:`repro.storage.disk` — a disk bandwidth/seek model charged against
+  the simulated clock;
+* :mod:`repro.storage.segment_store` — the video-segment index built on the
+  KV store, tracking per-format footprints;
+* :mod:`repro.storage.lifespan` — age tracking and erosion execution.
+"""
+
+from repro.storage.disk import DiskModel, DEFAULT_DISK
+from repro.storage.kvstore import KVStore
+from repro.storage.lifespan import AgeTracker, apply_erosion_step
+from repro.storage.segment_store import SegmentStore, StoredSegment
+
+__all__ = [
+    "AgeTracker",
+    "apply_erosion_step",
+    "DEFAULT_DISK",
+    "DiskModel",
+    "KVStore",
+    "SegmentStore",
+    "StoredSegment",
+]

@@ -1,0 +1,87 @@
+"""Age tracking and erosion execution (Section 4.4, execution side).
+
+The erosion *planner* (:mod:`repro.core.erosion`) decides, for each video
+age and each storage format, which cumulative fraction of segments must be
+gone.  This module executes such plans against a segment store: it assigns
+every segment a deterministic "erosion rank" so that raising the deleted
+fraction only ever deletes *more* segments (deletions are stable and spread
+evenly across a day's footage), and drops footage past its lifespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.storage.segment_store import SegmentStore
+from repro.units import DAY, SEGMENT_SECONDS
+from repro.video.format import StorageFormat
+
+_KNUTH = 2654435761  # Knuth multiplicative hash constant
+
+
+def erosion_rank(index: int) -> float:
+    """A stable pseudo-uniform rank in [0, 1) for a segment index.
+
+    Segments whose rank falls below the planned deletion fraction are
+    deleted; because the rank is fixed, growing the fraction strictly grows
+    the deleted set (cumulative erosion, as Figure 10 shows).
+    """
+    return ((index * _KNUTH) & 0xFFFFFFFF) / 2.0**32
+
+
+def segment_age_days(index: int, now_seconds: float,
+                     seconds: float = SEGMENT_SECONDS) -> int:
+    """Age of a segment in whole days at stream time ``now_seconds``.
+
+    Day 1 is the youngest age (the paper's x axis starts at 1).
+    """
+    end = (index + 1) * seconds
+    return int(max(0.0, now_seconds - end) // DAY) + 1
+
+
+@dataclass
+class AgeTracker:
+    """Groups a stream's segments by age for a given "now"."""
+
+    now_seconds: float
+    segment_seconds: float = SEGMENT_SECONDS
+
+    def ages(self, indices: Iterable[int]) -> Dict[int, List[int]]:
+        """Map age (days, 1-based) to the segment indices at that age."""
+        out: Dict[int, List[int]] = {}
+        for i in indices:
+            age = segment_age_days(i, self.now_seconds, self.segment_seconds)
+            out.setdefault(age, []).append(i)
+        return out
+
+
+def apply_erosion_step(
+    store: SegmentStore,
+    stream: str,
+    deleted_fraction: Mapping[Tuple[int, StorageFormat], float],
+    now_seconds: float,
+    lifespan_days: int,
+    segment_seconds: float = SEGMENT_SECONDS,
+) -> int:
+    """Bring the store in line with an erosion plan; returns deletions made.
+
+    ``deleted_fraction`` maps (age-in-days, storage format) to the cumulative
+    fraction of that age's segments that must be deleted.  Footage older than
+    ``lifespan_days`` is dropped entirely regardless of the plan.
+    """
+    tracker = AgeTracker(now_seconds, segment_seconds)
+    deletions = 0
+    for fmt in store.formats(stream):
+        by_age = tracker.ages(store.indices(stream, fmt))
+        for age, indices in by_age.items():
+            if age > lifespan_days:
+                fraction = 1.0
+            else:
+                fraction = deleted_fraction.get((age, fmt), 0.0)
+            if fraction <= 0.0:
+                continue
+            for i in indices:
+                if erosion_rank(i) < fraction and store.delete(stream, fmt, i):
+                    deletions += 1
+    return deletions

@@ -1,0 +1,197 @@
+"""Segment store: the video index built on the key-value backend.
+
+Keys are ``{stream}/{format-label}/{segment-index}``.  Each value is a small
+JSON metadata record optionally followed by the segment payload.  The store
+tracks per-(stream, format) footprints so storage-cost experiments can read
+them off without scanning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codec.encoder import EncodedSegment
+from repro.storage.disk import DiskModel, DEFAULT_DISK
+from repro.storage.kvstore import KVStore
+from repro.video.coding import Coding
+from repro.video.fidelity import Fidelity
+from repro.video.format import StorageFormat
+from repro.video.segment import Segment
+
+_SEPARATOR = b"\x00"
+
+
+@dataclass(frozen=True)
+class StoredSegment:
+    """Metadata of one stored segment, as returned by lookups."""
+
+    stream: str
+    index: int
+    fmt: StorageFormat
+    size_bytes: int
+    n_frames: int
+    activity: float
+    seconds: float
+    has_payload: bool
+
+    @property
+    def segment(self) -> Segment:
+        return Segment(self.stream, self.index, self.seconds)
+
+
+def _fmt_key(fmt: StorageFormat) -> str:
+    return fmt.label.replace("/", "|")
+
+
+def _parse_fmt(text: str) -> StorageFormat:
+    fidelity_label, _, coding_label = text.replace("|", "/").rpartition(" ")
+    return StorageFormat(
+        fidelity=Fidelity.parse(fidelity_label),
+        coding=Coding.parse(coding_label),
+    )
+
+
+class SegmentStore:
+    """Stores and retrieves per-format video segments."""
+
+    def __init__(self, kv: KVStore, disk: DiskModel = DEFAULT_DISK):
+        self.kv = kv
+        self.disk = disk
+        self._footprint: Dict[Tuple[str, str], int] = {}
+        self._count: Dict[Tuple[str, str], int] = {}
+        self._load_footprints()
+
+    def _load_footprints(self) -> None:
+        for key in self.kv.keys():
+            stream, fmt_text, _ = self._split_key(key)
+            meta = self._read_meta(key)
+            bucket = (stream, fmt_text)
+            self._footprint[bucket] = (
+                self._footprint.get(bucket, 0) + meta["size_bytes"]
+            )
+            self._count[bucket] = self._count.get(bucket, 0) + 1
+
+    @staticmethod
+    def _key(stream: str, fmt: StorageFormat, index: int) -> str:
+        return f"{stream}/{_fmt_key(fmt)}/{index:012d}"
+
+    @staticmethod
+    def _split_key(key: str) -> Tuple[str, str, int]:
+        stream, fmt_text, index_text = key.rsplit("/", 2)
+        return stream, fmt_text, int(index_text)
+
+    def _read_meta(self, key: str) -> dict:
+        blob = self.kv.get(key)
+        head, _, _ = blob.partition(_SEPARATOR)
+        return json.loads(head.decode("utf-8"))
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, encoded: EncodedSegment) -> None:
+        """Store an encoded segment (metadata + optional payload)."""
+        meta = {
+            "size_bytes": encoded.size_bytes,
+            "n_frames": encoded.n_frames,
+            "activity": encoded.activity,
+            "seconds": encoded.segment.seconds,
+            "payload": encoded.payload is not None,
+        }
+        blob = json.dumps(meta).encode("utf-8") + _SEPARATOR
+        if encoded.payload is not None:
+            blob += encoded.payload
+        key = self._key(encoded.segment.stream, encoded.fmt, encoded.segment.index)
+        existed = key in self.kv
+        self.kv.put(key, blob)
+        self.disk.write(encoded.size_bytes)
+        bucket = (encoded.segment.stream, _fmt_key(encoded.fmt))
+        if existed:
+            # Overwrite: footprint was already counted; recompute lazily.
+            self._footprint[bucket] = self._recount_footprint(bucket)
+            self._count[bucket] = sum(
+                1 for _ in self.kv.keys(f"{bucket[0]}/{bucket[1]}/")
+            )
+        else:
+            self._footprint[bucket] = self._footprint.get(bucket, 0) + encoded.size_bytes
+            self._count[bucket] = self._count.get(bucket, 0) + 1
+
+    def _recount_footprint(self, bucket: Tuple[str, str]) -> int:
+        prefix = f"{bucket[0]}/{bucket[1]}/"
+        return sum(self._read_meta(k)["size_bytes"] for k in self.kv.keys(prefix))
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, stream: str, fmt: StorageFormat, index: int) -> StoredSegment:
+        """Fetch one segment's metadata, charging the disk for its bytes."""
+        meta = self.meta(stream, fmt, index)
+        self.disk.read(meta.size_bytes)
+        return meta
+
+    def meta(self, stream: str, fmt: StorageFormat, index: int) -> StoredSegment:
+        """Fetch one segment's metadata without charging any disk time."""
+        key = self._key(stream, fmt, index)
+        meta = self._read_meta(key)
+        return StoredSegment(
+            stream=stream,
+            index=index,
+            fmt=fmt,
+            size_bytes=meta["size_bytes"],
+            n_frames=meta["n_frames"],
+            activity=meta["activity"],
+            seconds=meta["seconds"],
+            has_payload=meta["payload"],
+        )
+
+    def contains(self, stream: str, fmt: StorageFormat, index: int) -> bool:
+        return self._key(stream, fmt, index) in self.kv
+
+    def payload(self, stream: str, fmt: StorageFormat, index: int) -> Optional[bytes]:
+        """The raw payload bytes of a materialized segment, if present."""
+        blob = self.kv.get(self._key(stream, fmt, index))
+        _, _, body = blob.partition(_SEPARATOR)
+        return body or None
+
+    def indices(self, stream: str, fmt: StorageFormat) -> List[int]:
+        """Sorted indices of stored segments for (stream, format)."""
+        prefix = f"{stream}/{_fmt_key(fmt)}/"
+        return [self._split_key(k)[2] for k in self.kv.keys(prefix)]
+
+    def formats(self, stream: str) -> List[StorageFormat]:
+        """All storage formats holding at least one segment of ``stream``."""
+        seen = {}
+        for key in self.kv.keys(f"{stream}/"):
+            _, fmt_text, _ = self._split_key(key)
+            seen.setdefault(fmt_text, _parse_fmt(fmt_text))
+        return list(seen.values())
+
+    # -- deletes ------------------------------------------------------------------
+
+    def delete(self, stream: str, fmt: StorageFormat, index: int) -> bool:
+        """Delete one segment (erosion executes through this)."""
+        key = self._key(stream, fmt, index)
+        if key not in self.kv:
+            return False
+        size = self._read_meta(key)["size_bytes"]
+        self.kv.delete(key)
+        bucket = (stream, _fmt_key(fmt))
+        self._footprint[bucket] = self._footprint.get(bucket, 0) - size
+        self._count[bucket] = self._count.get(bucket, 0) - 1
+        return True
+
+    # -- accounting -------------------------------------------------------------------
+
+    def footprint(self, stream: str, fmt: Optional[StorageFormat] = None) -> int:
+        """Stored bytes for a stream, optionally limited to one format."""
+        if fmt is not None:
+            return self._footprint.get((stream, _fmt_key(fmt)), 0)
+        return sum(
+            size for (s, _), size in self._footprint.items() if s == stream
+        )
+
+    def segment_count(self, stream: str, fmt: StorageFormat) -> int:
+        return self._count.get((stream, _fmt_key(fmt)), 0)
+
+    def total_bytes(self) -> int:
+        """Stored bytes across all streams and formats."""
+        return sum(self._footprint.values())

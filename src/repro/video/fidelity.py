@@ -1,0 +1,249 @@
+"""Fidelity knobs (Table 1) and the richer-than partial order (Section 2.3).
+
+A *fidelity option* is a combination of four knob values:
+
+* ``quality`` — image quality, the loss due to compression
+  (``worst/bad/good/best``, the paper's CRF 50/40/23/0);
+* ``crop`` — crop factor, the fraction of the frame's linear dimensions
+  kept around the center (50%, 75%, 100%);
+* ``resolution`` — named resolution ("60p" ... "720p", ten values);
+* ``sampling`` — frame sampling rate as a fraction of the ingest frame
+  rate (1/30, 1/6, 1/2, 2/3, 1).
+
+Between two options the paper defines a *richer-than* partial order:
+X is richer than Y iff X is at least as rich on every knob and strictly
+richer on at least one.  Video can only be degraded along this order (R1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import FidelityError, KnobError
+
+#: Image-quality levels, poorest first, with the equivalent x264 CRF value.
+QUALITIES: Tuple[str, ...] = ("worst", "bad", "good", "best")
+QUALITY_CRF: Dict[str, int] = {"worst": 50, "bad": 40, "good": 23, "best": 0}
+
+#: Crop factors: fraction of each linear dimension kept around the center.
+CROP_FACTORS: Tuple[float, ...] = (0.50, 0.75, 1.00)
+
+#: Named resolutions and their pixel dimensions (width, height).  The small
+#: resolutions are square analysis frames as in the paper's Figure 8; 720p is
+#: the 16:9 ingest resolution.  Heights are strictly increasing and so are
+#: pixel counts, which keeps the richer-than order consistent with cost.
+RESOLUTIONS: Dict[str, Tuple[int, int]] = {
+    "60p": (60, 60),
+    "100p": (100, 100),
+    "144p": (144, 144),
+    "180p": (180, 180),
+    "200p": (200, 200),
+    "360p": (360, 360),
+    "400p": (400, 400),
+    "540p": (540, 540),
+    "600p": (600, 600),
+    "720p": (1280, 720),
+}
+
+#: Resolution names ordered poorest to richest.
+RESOLUTION_ORDER: Tuple[str, ...] = tuple(RESOLUTIONS)
+
+#: Frame sampling rates, sparsest first (fractions of the ingest frame rate).
+SAMPLING_RATES: Tuple[Fraction, ...] = (
+    Fraction(1, 30),
+    Fraction(1, 6),
+    Fraction(1, 2),
+    Fraction(2, 3),
+    Fraction(1, 1),
+)
+
+#: Frame rate of every ingested stream (720p at 30 fps, Section 6.1).
+INGEST_FPS = 30
+
+
+def _index(seq: Sequence, value, knob: str) -> int:
+    try:
+        return list(seq).index(value)
+    except ValueError:
+        raise KnobError(f"illegal value {value!r} for knob {knob!r}") from None
+
+
+def sampling_from_str(text: str) -> Fraction:
+    """Parse a sampling rate written as in the paper, e.g. ``"1/30"`` or ``"1"``."""
+    return Fraction(text)
+
+
+@dataclass(frozen=True, order=False)
+class Fidelity:
+    """One fidelity option: a value for each of the four fidelity knobs."""
+
+    quality: str
+    resolution: str
+    sampling: Fraction
+    crop: float
+
+    def __post_init__(self) -> None:
+        _index(QUALITIES, self.quality, "quality")
+        _index(RESOLUTION_ORDER, self.resolution, "resolution")
+        _index(SAMPLING_RATES, self.sampling, "sampling")
+        _index(CROP_FACTORS, self.crop, "crop")
+
+    # -- knob index helpers (poorest value has index 0) --------------------
+
+    @property
+    def quality_idx(self) -> int:
+        return QUALITIES.index(self.quality)
+
+    @property
+    def resolution_idx(self) -> int:
+        return RESOLUTION_ORDER.index(self.resolution)
+
+    @property
+    def sampling_idx(self) -> int:
+        return SAMPLING_RATES.index(self.sampling)
+
+    @property
+    def crop_idx(self) -> int:
+        return CROP_FACTORS.index(self.crop)
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def dimensions(self) -> Tuple[int, int]:
+        """Pixel dimensions (width, height) after resizing and cropping."""
+        w, h = RESOLUTIONS[self.resolution]
+        return (int(round(w * self.crop)), int(round(h * self.crop)))
+
+    @property
+    def pixels(self) -> int:
+        """Pixels per frame after resolution and crop are applied."""
+        w, h = self.dimensions
+        return w * h
+
+    @property
+    def fps(self) -> float:
+        """Frames per second after sampling the 30 fps ingest stream."""
+        return float(INGEST_FPS * self.sampling)
+
+    @property
+    def crf(self) -> int:
+        """The x264 CRF equivalent of this option's image quality."""
+        return QUALITY_CRF[self.quality]
+
+    # -- partial order -------------------------------------------------------
+
+    def _knob_indices(self) -> Tuple[int, int, int, int]:
+        return (self.quality_idx, self.resolution_idx, self.sampling_idx, self.crop_idx)
+
+    def richer_equal(self, other: "Fidelity") -> bool:
+        """True iff self is richer than or equal to ``other`` on every knob."""
+        return all(a >= b for a, b in zip(self._knob_indices(), other._knob_indices()))
+
+    def richer_than(self, other: "Fidelity") -> bool:
+        """Strict richer-than: richer-or-equal everywhere, strictly on one knob."""
+        return self.richer_equal(other) and self != other
+
+    def comparable(self, other: "Fidelity") -> bool:
+        """True iff the two options are ordered by richer-than (either way)."""
+        return self.richer_equal(other) or other.richer_equal(self)
+
+    def degrade_to(self, other: "Fidelity") -> "Fidelity":
+        """Check that ``other`` is reachable by degradation and return it.
+
+        Degradation (resize, crop, drop frames, re-quantize) can only move
+        *down* the richer-than order; anything else raises
+        :class:`~repro.errors.FidelityError` (requirement R1).
+        """
+        if not self.richer_equal(other):
+            raise FidelityError(f"cannot degrade {self} to non-poorer {other}")
+        return other
+
+    # -- presentation --------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``best-720p-1-100%``."""
+        return (
+            f"{self.quality}-{self.resolution}-{self.sampling}"
+            f"-{int(self.crop * 100)}%"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+    @classmethod
+    def parse(cls, label: str) -> "Fidelity":
+        """Parse a label produced by :attr:`label`."""
+        parts = label.split("-")
+        if len(parts) != 4:
+            raise KnobError(f"malformed fidelity label: {label!r}")
+        quality, resolution, sampling, crop = parts
+        if not crop.endswith("%"):
+            raise KnobError(f"malformed crop in fidelity label: {label!r}")
+        return cls(
+            quality=quality,
+            resolution=resolution,
+            sampling=Fraction(sampling),
+            crop=float(crop[:-1]) / 100.0,
+        )
+
+
+def fidelity_space() -> Iterator[Fidelity]:
+    """Iterate the full 4-D fidelity space F (600 options)."""
+    for quality, resolution, sampling, crop in product(
+        QUALITIES, RESOLUTION_ORDER, SAMPLING_RATES, CROP_FACTORS
+    ):
+        yield Fidelity(quality, resolution, sampling, crop)
+
+
+def richest_fidelity() -> Fidelity:
+    """The knob-wise maximum of the whole space (the ingest format)."""
+    return Fidelity(
+        quality=QUALITIES[-1],
+        resolution=RESOLUTION_ORDER[-1],
+        sampling=SAMPLING_RATES[-1],
+        crop=CROP_FACTORS[-1],
+    )
+
+
+def knobwise_max(options: Sequence[Fidelity]) -> Fidelity:
+    """The knob-wise maximum fidelity of ``options`` (used when coalescing).
+
+    The result is the cheapest fidelity that is richer than or equal to every
+    input, i.e. the join in the richer-than lattice.
+    """
+    if not options:
+        raise FidelityError("knobwise_max of an empty set")
+    return Fidelity(
+        quality=QUALITIES[max(f.quality_idx for f in options)],
+        resolution=RESOLUTION_ORDER[max(f.resolution_idx for f in options)],
+        sampling=SAMPLING_RATES[max(f.sampling_idx for f in options)],
+        crop=CROP_FACTORS[max(f.crop_idx for f in options)],
+    )
+
+
+def knob_counts() -> Dict[str, int]:
+    """Number of possible values per fidelity knob (for overhead analysis)."""
+    return {
+        "quality": len(QUALITIES),
+        "resolution": len(RESOLUTION_ORDER),
+        "sampling": len(SAMPLING_RATES),
+        "crop": len(CROP_FACTORS),
+    }
+
+
+def fidelity_space_size() -> int:
+    """|F| — the number of fidelity options (600 in this reproduction)."""
+    sizes = knob_counts().values()
+    total = 1
+    for n in sizes:
+        total *= n
+    return total
+
+
+def downgrades_of(fid: Fidelity) -> List[Fidelity]:
+    """All options poorer than or equal to ``fid`` (its down-set in F)."""
+    return [f for f in fidelity_space() if fid.richer_equal(f)]

@@ -1,0 +1,82 @@
+"""Optional pixel rendering of synthetic frames.
+
+Most of the system reasons about content analytically (see
+:mod:`repro.video.content`); actual pixels are only needed when a caller
+wants to *see* a frame — examples, debugging, and a few integration tests
+that exercise the full frame path.  Rendering is deterministic: the same
+(dataset, time, fidelity) always produces the same image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import rng_for
+from repro.video.content import ContentModel
+from repro.video.fidelity import Fidelity
+
+#: Gaussian pixel-noise sigma per image-quality level (compression artifacts).
+QUALITY_NOISE_SIGMA = {"best": 0.0, "good": 2.0, "bad": 8.0, "worst": 20.0}
+
+#: Grey level a vehicle of each color is drawn with.
+_COLOR_LEVEL = {"white": 235, "silver": 190, "red": 120, "blue": 95, "black": 35}
+
+
+def render_frame(model: ContentModel, t: float, fidelity: Fidelity) -> np.ndarray:
+    """Render the frame at time ``t`` as a uint8 grayscale image.
+
+    The image reflects the fidelity option: dimensions follow resolution and
+    crop, objects outside the crop window are absent, and image quality adds
+    deterministic compression-like noise.
+    """
+    w, h = fidelity.dimensions
+    # Static background: a smooth gradient unique to the dataset.
+    gy = np.linspace(0.0, 1.0, h)[:, None]
+    gx = np.linspace(0.0, 1.0, w)[None, :]
+    phase = (rng_for(model.name, "bg").uniform(0.0, np.pi))
+    img = 110.0 + 40.0 * np.sin(3.0 * gx + phase) * np.cos(2.0 * gy)
+
+    # Camera motion shifts the background slightly (dash cameras shake).
+    shift = model.camera_activity(t) * 4.0
+    if shift > 0.05:
+        img = np.roll(img, int(round(shift * np.sin(t * 9.0))), axis=1)
+
+    # Objects: filled rectangles at their normalized position, remapped into
+    # the crop window.
+    margin = (1.0 - fidelity.crop) / 2.0
+    truth = model.frame_truth(t)
+    for tr in truth.visible:
+        x, y = tr.position(t)
+        if not (margin <= x <= 1.0 - margin and margin <= y <= 1.0 - margin):
+            continue  # outside the cropped field of view
+        cx = (x - margin) / fidelity.crop
+        cy = (y - margin) / fidelity.crop
+        half_h = tr.size / fidelity.crop / 2.0
+        half_w = half_h * 1.6 if tr.kind == "car" else half_h * 0.5
+        r0 = max(0, int((cy - half_h) * h))
+        r1 = min(h, int((cy + half_h) * h) + 1)
+        c0 = max(0, int((cx - half_w) * w))
+        c1 = min(w, int((cx + half_w) * w) + 1)
+        if r1 > r0 and c1 > c0:
+            level = _COLOR_LEVEL.get(tr.color, 150)
+            img[r0:r1, c0:c1] = level * tr.contrast + 110 * (1 - tr.contrast)
+
+    sigma = QUALITY_NOISE_SIGMA[fidelity.quality]
+    if sigma > 0.0:
+        noise = rng_for(model.name, "noise", round(t * 30), fidelity.quality,
+                        fidelity.resolution).normal(0.0, sigma, size=img.shape)
+        img = img + noise
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def render_clip(
+    model: ContentModel, t0: float, duration: float, fidelity: Fidelity
+) -> np.ndarray:
+    """Render the consumed frames of a clip as an (n, h, w) uint8 array."""
+    stride = int(round(1.0 / float(fidelity.sampling)))
+    n_total = int(round(duration * 30))
+    frames = [
+        render_frame(model, t0 + i / 30.0, fidelity)
+        for i in range(0, n_total, max(1, stride))
+    ]
+    return np.stack(frames) if frames else np.zeros((0, 1, 1), dtype=np.uint8)

@@ -1,0 +1,54 @@
+"""F1 scoring."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.operators.accuracy import Confusion, f1_score
+
+
+def test_perfect_score():
+    assert f1_score(10, 0, 0) == 1.0
+
+
+def test_empty_clip_scores_one():
+    assert f1_score(0, 0, 0) == 1.0
+
+
+def test_all_wrong_scores_zero():
+    assert f1_score(0, 5, 5) == 0.0
+
+
+def test_harmonic_mean_of_precision_recall():
+    c = Confusion(tp=8, fp=2, fn=4)
+    p, r = c.precision, c.recall
+    assert c.f1 == pytest.approx(2 * p * r / (p + r))
+
+
+def test_confusion_addition():
+    total = Confusion(1, 2, 3) + Confusion(4, 5, 6)
+    assert (total.tp, total.fp, total.fn) == (5, 7, 9)
+
+
+def test_precision_recall_degenerate():
+    assert Confusion(0, 0, 5).precision == 1.0
+    assert Confusion(0, 5, 0).recall == 1.0
+
+
+@given(
+    tp=st.floats(0, 1e6),
+    fp=st.floats(0, 1e6),
+    fn=st.floats(0, 1e6),
+)
+def test_f1_bounded(tp, fp, fn):
+    assert 0.0 <= f1_score(tp, fp, fn) <= 1.0
+
+
+@given(
+    tp=st.floats(0.1, 1e6),
+    fp=st.floats(0, 1e6),
+    fn=st.floats(0, 1e6),
+    extra=st.floats(0.1, 1e6),
+)
+def test_f1_monotone_in_errors(tp, fp, fn, extra):
+    assert f1_score(tp, fp + extra, fn) <= f1_score(tp, fp, fn)
+    assert f1_score(tp, fp, fn + extra) <= f1_score(tp, fp, fn)

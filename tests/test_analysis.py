@@ -1,0 +1,67 @@
+"""Analysis helpers: the Focus model (Section 7) and table rendering."""
+
+import pytest
+
+from repro.analysis.focus import DEFAULT_ALPHA, FocusComparison
+from repro.analysis.tables import (
+    format_configuration_table,
+    format_erosion_table,
+    format_query_speed_table,
+)
+
+
+class TestFocus:
+    def test_paper_example_points(self):
+        """Section 7: with alpha = 1/48, r = 3 at f = 1%, 1.2 at 10%,
+        1.04 at 50%."""
+        model = FocusComparison()
+        assert model.query_delay_ratio(0.01) == pytest.approx(3.08, abs=0.1)
+        assert model.query_delay_ratio(0.10) == pytest.approx(1.21, abs=0.02)
+        assert model.query_delay_ratio(0.50) == pytest.approx(1.04, abs=0.01)
+
+    def test_default_alpha(self):
+        assert DEFAULT_ALPHA == pytest.approx(1 / 48)
+
+    def test_ratio_falls_with_selectivity(self):
+        model = FocusComparison()
+        sweep = model.sweep((0.01, 0.05, 0.2, 1.0))
+        values = list(sweep.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_cheaper_cheap_nn_shrinks_gap(self):
+        # "As the speed gap between the two NNs enlarges, the query delay
+        # difference quickly diminishes."
+        assert (FocusComparison(alpha=1 / 200).query_delay_ratio(0.01)
+                < FocusComparison(alpha=1 / 48).query_delay_ratio(0.01))
+
+    def test_ingest_cost_favours_vstore(self):
+        # Section 7 estimates 2-3x higher ingest hardware cost for Focus.
+        assert 2.0 <= FocusComparison().ingest_cost_ratio() <= 3.0
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            FocusComparison().query_delay_ratio(0.0)
+        with pytest.raises(ValueError):
+            FocusComparison().query_delay_ratio(1.5)
+
+
+class TestTables:
+    def test_configuration_table_mentions_all_operators(self, configuration):
+        text = format_configuration_table(configuration)
+        for op in ("Diff", "S-NN", "NN", "Motion", "License", "OCR"):
+            assert op in text
+        assert "SFg" in text
+        assert "Storage formats:" in text
+
+    def test_query_speed_table(self):
+        rows = [
+            {"dataset": "jackson", "accuracy": 0.9, "scheme": "VStore",
+             "speed": 120.0},
+        ]
+        text = format_query_speed_table(rows)
+        assert "jackson" in text and "120x" in text
+
+    def test_erosion_table(self, configuration):
+        text = format_erosion_table(configuration)
+        assert "decay factor" in text
+        assert "overall speed" in text

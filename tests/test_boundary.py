@@ -1,0 +1,89 @@
+"""The monotone 2-D boundary search (Section 4.2, Figure 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.boundary import BoundarySearch
+from repro.rng import rng_for
+
+
+def _grid_search(grid):
+    """Reference: scan every cell; per row, the poorest adequate column."""
+    boundary = []
+    n_rows, n_cols = grid.shape
+    for r in range(n_rows - 1, -1, -1):
+        cols = np.nonzero(grid[r])[0]
+        if len(cols):
+            boundary.append((r, int(cols[0])))
+    return boundary
+
+
+def _monotone_grid(n_rows, n_cols, seed):
+    """A random monotone boolean grid (adequate in both directions)."""
+    rng = rng_for("grid", seed, n_rows, n_cols)
+    # A staircase: per row threshold column, non-increasing with row.
+    thresholds = np.sort(rng.integers(0, n_cols + 1, size=n_rows))[::-1]
+    grid = np.zeros((n_rows, n_cols), dtype=bool)
+    for r in range(n_rows):
+        grid[r, thresholds[r]:] = True
+    return grid
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_boundary_matches_reference(seed):
+    grid = _monotone_grid(5, 10, seed)
+    search = BoundarySearch(5, 10, lambda r, c: bool(grid[r, c]))
+    result = search.walk()
+    expected = _grid_search(grid)
+    # The walk finds every row that has an adequate cell, except rows below
+    # the first row with none (where monotonicity says none exist either).
+    assert result.boundary == expected
+
+
+@given(st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_probe_count_linear(seed):
+    n_rows, n_cols = 5, 10
+    grid = _monotone_grid(n_rows, n_cols, seed)
+    search = BoundarySearch(n_rows, n_cols, lambda r, c: bool(grid[r, c]))
+    result = search.walk()
+    # O(rows + cols) distinct probes, never rows x cols.
+    assert len(set(result.probed)) <= n_rows + n_cols
+
+
+def test_all_adequate():
+    search = BoundarySearch(3, 4, lambda r, c: True)
+    result = search.walk()
+    assert result.boundary == [(2, 0), (1, 0), (0, 0)]
+
+
+def test_none_adequate():
+    search = BoundarySearch(3, 4, lambda r, c: False)
+    result = search.walk()
+    assert result.boundary == []
+    assert len(result.probed) == 4  # scanned the richest row only
+
+
+def test_single_cell():
+    assert BoundarySearch(1, 1, lambda r, c: True).walk().boundary == [(0, 0)]
+    assert BoundarySearch(1, 1, lambda r, c: False).walk().boundary == []
+
+
+def test_rejects_empty_grid():
+    with pytest.raises(ValueError):
+        BoundarySearch(0, 3, lambda r, c: True)
+
+
+def test_boundary_walk_explores_whole_boundary():
+    """Unlike classic saddleback search, the walk cannot stop at the first
+    adequate point: a cheaper boundary point may sit in a poorer row."""
+    grid = np.array([
+        [False, False, True],
+        [False, True, True],
+        [True, True, True],
+    ])
+    search = BoundarySearch(3, 3, lambda r, c: bool(grid[r, c]))
+    result = search.walk()
+    assert result.boundary == [(2, 0), (1, 1), (0, 2)]

@@ -1,0 +1,112 @@
+"""GOP structure and chunk-skip decode accounting (Figure 3b)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codec.chunks import (
+    decoded_frame_count,
+    decoded_frame_fraction,
+    gop_layout,
+)
+from repro.errors import CodecError
+
+
+def test_gop_layout_exact_division():
+    assert gop_layout(100, 10) == [10] * 10
+
+
+def test_gop_layout_remainder():
+    assert gop_layout(25, 10) == [10, 10, 5]
+
+
+def test_gop_layout_rejects_bad_interval():
+    with pytest.raises(CodecError):
+        gop_layout(100, 0)
+
+
+def test_dense_sampling_decodes_everything():
+    assert decoded_frame_count(240, 1, 50) == 240
+    assert decoded_frame_fraction(1, 50) == 1.0
+
+
+def test_sampling_within_gop_cannot_skip():
+    # Stride below the keyframe interval: the reference chain forces the
+    # decoder through every frame up to each sample.
+    n = 250
+    count = decoded_frame_count(n, 5, 250)
+    # Frames up to the last sample (index 245) are all decoded.
+    assert count == 246
+
+
+def test_sparse_sampling_skips_chunks():
+    # Stride 50 over 10-frame chunks: per sample, decode from that chunk's
+    # keyframe (multiple of 10) to the sample - exactly 1 frame when the
+    # sample lands on a keyframe.
+    count = decoded_frame_count(500, 50, 10)
+    assert count == 10  # samples 0,50,...,450 all land on keyframes
+    assert decoded_frame_fraction(50, 10) == pytest.approx(10 / 500)
+
+
+def test_sparse_sampling_off_keyframe():
+    # Stride 75, kf 50: samples at 0, 75, 150, ... land mid-chunk half the
+    # time; each mid-chunk sample decodes (pos-in-chunk + 1) frames.
+    count = decoded_frame_count(300, 75, 50)
+    # samples: 0 (decode 1), 75 (decode 50..75: 26), 150 (1), 225 (26)
+    assert count == 1 + 26 + 1 + 26
+
+
+def test_smaller_keyframe_interval_speeds_sparse_decode():
+    # Figure 3b: under sparse consumer sampling, smaller GOPs decode less.
+    # (Stride 253 is coprime with every interval, so samples do not line up
+    # with keyframes — the generic case.)
+    fractions = [decoded_frame_fraction(253, m) for m in (5, 10, 50, 100, 250)]
+    assert fractions == sorted(fractions)
+    assert fractions[0] < fractions[-1] / 5  # several-fold difference
+
+
+def test_stride_aligned_with_gop_decodes_only_keyframes():
+    # When the stride is an exact multiple of the GOP, every sample lands
+    # on a keyframe and exactly one frame is decoded per sample.
+    assert decoded_frame_count(1000, 250, 250) == 4
+
+
+def test_invalid_stride_rejected():
+    with pytest.raises(CodecError):
+        decoded_frame_count(100, 0, 10)
+
+
+def test_empty_stream():
+    assert decoded_frame_count(0, 10, 10) == 0
+
+
+@given(
+    n=st.integers(1, 600),
+    stride=st.integers(1, 300),
+    kf=st.sampled_from([5, 10, 50, 100, 250]),
+)
+def test_decoded_count_bounds(n, stride, kf):
+    count = decoded_frame_count(n, stride, kf)
+    n_samples = len(range(0, n, stride))
+    assert n_samples <= count <= n
+
+
+@given(
+    stride=st.integers(1, 300),
+    kf=st.sampled_from([5, 10, 50, 100, 250]),
+)
+def test_fraction_in_unit_interval(stride, kf):
+    f = decoded_frame_fraction(stride, kf)
+    assert 0.0 < f <= 1.0
+
+
+@given(
+    n=st.integers(1, 500),
+    stride=st.integers(1, 100),
+    kf=st.sampled_from([5, 10, 50, 100, 250]),
+)
+def test_decoder_never_reaches_past_last_sample(n, stride, kf):
+    # The decoder touches at most every frame up to the last sample, and
+    # never fewer than one frame per sample.
+    count = decoded_frame_count(n, stride, kf)
+    samples = list(range(0, n, stride))
+    assert len(samples) <= count <= samples[-1] + 1

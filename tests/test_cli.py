@@ -1,0 +1,65 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_datasets_lists_all_six(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("jackson", "miami", "tucson", "dashcam", "park", "airport"):
+        assert name in out
+
+
+def test_focus_command(capsys):
+    assert main(["focus", "--selectivity", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "r = 3" in out
+
+
+def test_configure_command(capsys):
+    assert main(["configure", "--operators", "Motion,License,OCR"]) == 0
+    out = capsys.readouterr().out
+    assert "SFg" in out
+    assert "ingest cost" in out
+
+
+def test_configure_with_storage_budget(capsys):
+    assert main([
+        "configure", "--operators", "Motion,License",
+        "--storage-budget-tb", "1.0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "decay factor" in out
+
+
+def test_query_command(capsys):
+    assert main([
+        "query", "B", "--operators", "Motion,License,OCR",
+        "--dataset", "dashcam", "--accuracy", "0.8",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "x realtime" in out
+    assert "Motion" in out
+
+
+def test_ingest_and_execute_roundtrip(tmp_path, capsys):
+    workdir = str(tmp_path / "store")
+    assert main([
+        "ingest", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam", "--segments", "4",
+    ]) == 0
+    assert main([
+        "execute", "B", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam",
+        "--accuracy", "0.8", "--t0", "0", "--t1", "32",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ingested 4 segments" in out
+    assert "executed query" in out
+
+
+def test_unknown_command_fails():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,44 @@
+"""Simulated clock accounting."""
+
+import pytest
+
+from repro.clock import SimClock, Stopwatch
+
+
+def test_charge_advances_clock():
+    clock = SimClock()
+    clock.charge(1.5, "decode")
+    clock.charge(0.5, "decode")
+    clock.charge(2.0, "consume")
+    assert clock.now == pytest.approx(4.0)
+    assert clock.spent("decode") == pytest.approx(2.0)
+    assert clock.spent("consume") == pytest.approx(2.0)
+    assert clock.spent("never") == 0.0
+
+
+def test_negative_charge_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.charge(-1.0)
+
+
+def test_default_category():
+    clock = SimClock()
+    clock.charge(1.0)
+    assert clock.spent("other") == 1.0
+
+
+def test_reset():
+    clock = SimClock()
+    clock.charge(3.0, "x")
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.spent("x") == 0.0
+
+
+def test_stopwatch_measures_interval():
+    clock = SimClock()
+    clock.charge(1.0)
+    watch = Stopwatch(clock)
+    clock.charge(2.5, "work")
+    assert watch.elapsed() == pytest.approx(2.5)

@@ -1,0 +1,153 @@
+"""Codec response surfaces: the shapes of Figure 3 and Section 2.4."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.codec.model import (
+    BITS_PER_PIXEL,
+    CodecModel,
+    DEFAULT_CODEC,
+    ENCODE_TIME_FACTOR,
+    SIZE_FACTOR,
+)
+from repro.errors import CodecError
+from repro.video.coding import Coding, KEYFRAME_INTERVALS, RAW, SPEED_STEPS
+from repro.video.fidelity import Fidelity
+
+
+def _fid(label):
+    return Fidelity.parse(label)
+
+
+GOLDEN = _fid("best-720p-1-100%")
+
+
+def test_speed_step_encode_range_is_40x():
+    # Figure 3a: up to 40x difference in encoding speed across steps.
+    ratio = ENCODE_TIME_FACTOR["slowest"] / ENCODE_TIME_FACTOR["fastest"]
+    assert ratio == pytest.approx(40.0)
+    speeds = [DEFAULT_CODEC.encode_speed(GOLDEN, Coding(s, 250))
+              for s in SPEED_STEPS]
+    assert speeds == sorted(speeds)
+    assert speeds[-1] / speeds[0] == pytest.approx(40.0)
+
+
+def test_speed_step_size_range_is_2_5x():
+    # Figure 3a: up to 2.5x difference in video size across steps.
+    sizes = [DEFAULT_CODEC.encoded_bytes_per_second(GOLDEN, Coding(s, 250))
+             for s in SPEED_STEPS]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] / sizes[0] == pytest.approx(SIZE_FACTOR["fastest"])
+
+
+def test_quality_steps_change_size_about_5x():
+    # Section 2.4: one image-quality step changes storage by ~5x.
+    ratios = []
+    qualities = ["best", "good", "bad", "worst"]
+    for rich, poor in zip(qualities, qualities[1:]):
+        ratios.append(BITS_PER_PIXEL[rich] / BITS_PER_PIXEL[poor])
+    assert all(3.5 <= r <= 6.0 for r in ratios)
+
+
+def test_keyframe_interval_size_tradeoff():
+    # Figure 3b: smaller keyframe intervals cost storage.
+    sizes = [
+        DEFAULT_CODEC.encoded_bytes_per_second(GOLDEN, Coding("slowest", m))
+        for m in KEYFRAME_INTERVALS
+    ]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] / sizes[-1] > 2.0  # kf=5 vs kf=250
+
+
+def test_keyframe_interval_decode_speedup_under_sparse_sampling():
+    # Figure 3b: up to ~6x faster decode with small GOPs when the consumer
+    # samples 1/250 of frames; dense consumers see no benefit.
+    stored = GOLDEN
+    sparse = Fraction(1, 30)
+    speeds = [
+        DEFAULT_CODEC.decode_speed(stored, Coding("slowest", m), sparse)
+        for m in KEYFRAME_INTERVALS
+    ]
+    assert speeds == sorted(speeds, reverse=True)
+    assert speeds[0] / speeds[-1] > 4.0
+    dense = [
+        DEFAULT_CODEC.decode_speed(stored, Coding("slowest", m), Fraction(1))
+        for m in KEYFRAME_INTERVALS
+    ]
+    assert max(dense) / min(dense) == pytest.approx(1.0)
+
+
+def test_golden_format_calibration():
+    # Table 3b ballpark: the golden format stores ~1.4 MB per video second
+    # and decodes at a few tens of x realtime.
+    size = DEFAULT_CODEC.encoded_bytes_per_second(GOLDEN, Coding("slowest", 250),
+                                                  activity=0.35)
+    assert 0.8e6 < size < 2.5e6
+    speed = DEFAULT_CODEC.decode_speed(GOLDEN, Coding("slowest", 250))
+    assert 10 < speed < 60
+
+
+def test_decode_faster_than_encode():
+    for step in SPEED_STEPS:
+        c = Coding(step, 250)
+        assert (DEFAULT_CODEC.decode_speed(GOLDEN, c)
+                > DEFAULT_CODEC.encode_speed(GOLDEN, c))
+
+
+def test_raw_sizes():
+    f = _fid("best-200p-1-100%")
+    assert DEFAULT_CODEC.raw_frame_bytes(f) == 200 * 200 * 1.5
+    assert DEFAULT_CODEC.raw_bytes_per_second(f) == 200 * 200 * 1.5 * 30
+
+
+def test_raw_has_negligible_encode_cost():
+    raw_cost = DEFAULT_CODEC.encode_seconds_per_video_second(GOLDEN, RAW)
+    enc_cost = DEFAULT_CODEC.encode_seconds_per_video_second(
+        GOLDEN, Coding("fastest", 250)
+    )
+    assert raw_cost < enc_cost / 10
+
+
+def test_raw_cannot_be_decoded():
+    with pytest.raises(CodecError):
+        DEFAULT_CODEC.decode_seconds_per_video_second(GOLDEN, RAW)
+    with pytest.raises(CodecError):
+        DEFAULT_CODEC.decode_frame_seconds(GOLDEN, RAW)
+
+
+def test_activity_inflates_size():
+    quiet = DEFAULT_CODEC.encoded_bytes_per_second(GOLDEN, Coding("med", 250), 0.05)
+    busy = DEFAULT_CODEC.encoded_bytes_per_second(GOLDEN, Coding("med", 250), 1.2)
+    assert busy > 2 * quiet
+
+
+def test_consumer_stride():
+    stored = _fid("best-720p-1/6-100%")
+    assert DEFAULT_CODEC.consumer_stride(stored, Fraction(1, 6)) == 1
+    assert DEFAULT_CODEC.consumer_stride(stored, Fraction(1, 30)) == 5
+    with pytest.raises(CodecError):
+        DEFAULT_CODEC.consumer_stride(stored, Fraction(1, 2))
+
+
+def test_fewer_pixels_encode_faster():
+    small = _fid("best-200p-1-100%")
+    c = Coding("med", 250)
+    assert (DEFAULT_CODEC.encode_speed(small, c)
+            > DEFAULT_CODEC.encode_speed(GOLDEN, c))
+
+
+def test_lower_fps_encodes_cheaper():
+    sparse = _fid("best-720p-1/6-100%")
+    c = Coding("med", 250)
+    assert (
+        DEFAULT_CODEC.encode_seconds_per_video_second(sparse, c)
+        < DEFAULT_CODEC.encode_seconds_per_video_second(GOLDEN, c)
+    )
+
+
+def test_custom_model_constants():
+    model = CodecModel(encode_ms_per_mp=24.0)
+    assert (model.encode_seconds_per_video_second(GOLDEN, Coding("med", 250))
+            > DEFAULT_CODEC.encode_seconds_per_video_second(
+                GOLDEN, Coding("med", 250)))

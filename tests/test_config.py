@@ -1,0 +1,100 @@
+"""End-to-end backward derivation (Figure 7, Table 3)."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.config import DEFAULT_PROFILE_DATASETS, derive_configuration
+from repro.errors import ConfigurationError
+from repro.ingest.budget import IngestBudget, cores_required
+from repro.operators.library import Consumer, default_library
+
+
+def test_default_profile_datasets_match_paper():
+    for op in ("Diff", "S-NN", "NN"):
+        assert DEFAULT_PROFILE_DATASETS[op] == "jackson"
+    for op in ("Motion", "License", "OCR"):
+        assert DEFAULT_PROFILE_DATASETS[op] == "dashcam"
+
+
+def test_configuration_covers_all_consumers(configuration, query_library):
+    assert len(configuration.consumers) == 24  # 6 operators x 4 accuracies
+    for consumer in configuration.consumers:
+        decision = configuration.decision_for(consumer)
+        assert decision.accuracy >= consumer.accuracy
+        sf = configuration.storage_plan_for(consumer)
+        assert sf.fidelity.richer_equal(decision.fidelity)  # R1
+
+
+def test_consumption_formats_deduplicate(configuration):
+    # Several consumers share CFs (the paper sees 21 unique out of 24).
+    assert configuration.unique_cf_count <= len(configuration.consumers)
+    assert configuration.unique_cf_count >= 10
+
+
+def test_storage_formats_consolidated(configuration):
+    # Tens of CFs collapse into a handful of SFs (Table 3b has 4).
+    assert 2 <= len(configuration.plan.formats) <= 8
+    assert configuration.plan.golden.golden
+
+
+def test_knob_count_scale(configuration):
+    # The paper's configuration sets ~109 knobs; ours is the same order.
+    assert 50 <= configuration.knob_count <= 150
+
+
+def test_erosion_plan_attached(configuration):
+    assert configuration.erosion is not None
+    assert configuration.erosion.k == 0.0  # no storage budget given
+
+
+def test_stats_accounting(configuration):
+    stats = configuration.stats
+    assert stats.operator_runs > 50
+    assert stats.coding_runs > 0
+    assert stats.coding_memo_hits > stats.coding_runs  # heavy memoization
+    assert stats.total_seconds > 0
+
+
+def test_unknown_operator_dataset_raises():
+    lib = default_library(names=("Diff",))
+    with pytest.raises(ConfigurationError):
+        derive_configuration(lib, profile_datasets={})
+
+
+def test_empty_consumers_raises(query_library):
+    with pytest.raises(ConfigurationError):
+        derive_configuration(query_library, consumers=[])
+
+
+def test_configuration_respects_ingest_budget(query_library):
+    unbudgeted = derive_configuration(query_library)
+    cap = max(0.5, unbudgeted.plan.ingest_cores * 0.6)
+    budgeted = derive_configuration(query_library,
+                                    ingest_budget=IngestBudget(cap))
+    assert cores_required(budgeted.storage_formats) <= cap + 1e-9
+    # The trade: storage grows, bounded (Table 4 reports +17%).
+    assert (budgeted.plan.storage_bytes_per_second
+            <= unbudgeted.plan.storage_bytes_per_second * 2.0)
+
+
+def test_configuration_respects_storage_budget(query_library):
+    free = derive_configuration(query_library)
+    assert free.erosion is not None
+    floor = free.erosion  # k == 0
+    budget = floor.total_bytes * 0.9
+    tight = derive_configuration(query_library,
+                                 storage_budget_bytes=budget)
+    assert tight.erosion.k > 0
+    assert tight.erosion.total_bytes <= budget
+
+
+def test_shared_clock_collects_profiling(query_library):
+    clock = SimClock()
+    derive_configuration(query_library, clock=clock)
+    assert clock.spent("profiling") > 0
+
+
+def test_subset_of_consumers(query_library):
+    consumers = [Consumer("NN", 0.9), Consumer("Diff", 0.8)]
+    config = derive_configuration(query_library, consumers=consumers)
+    assert len(config.decisions) == 2

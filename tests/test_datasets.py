@@ -1,0 +1,52 @@
+"""The six benchmark datasets (Section 6.1)."""
+
+import pytest
+
+from repro.errors import KnobError
+from repro.video.datasets import (
+    DATASETS,
+    QUERY_A_DATASETS,
+    QUERY_B_DATASETS,
+    get_dataset,
+)
+
+
+def test_all_six_present():
+    assert set(DATASETS) == {
+        "jackson", "miami", "tucson", "dashcam", "park", "airport"
+    }
+
+
+def test_query_assignment_matches_paper():
+    assert QUERY_A_DATASETS == ("jackson", "miami", "tucson")
+    assert QUERY_B_DATASETS == ("dashcam", "park", "airport")
+
+
+def test_only_dashcam_has_camera_motion():
+    for name, ds in DATASETS.items():
+        if name == "dashcam":
+            assert ds.params.camera_motion > 0.5
+            assert ds.kind == "dashcam"
+        else:
+            assert ds.params.camera_motion == 0.0
+            assert ds.kind == "surveillance"
+
+
+def test_content_model_uses_dataset_name():
+    model = get_dataset("miami").content()
+    assert model.name == "miami"
+
+
+def test_unknown_dataset_raises_with_hint():
+    with pytest.raises(KnobError, match="jackson"):
+        get_dataset("nosuch")
+
+
+def test_params_are_positive():
+    for ds in DATASETS.values():
+        p = ds.params
+        assert p.arrival_rate > 0
+        assert p.dwell_mean >= p.dwell_min > 0
+        assert 0 < p.size_mean < 0.5
+        assert 0 <= p.plate_fraction <= 1
+        assert 0 <= p.person_fraction <= 1

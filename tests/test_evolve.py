@@ -1,0 +1,109 @@
+"""Adapting to operator and hardware changes (Section 7)."""
+
+import pytest
+
+from repro.core.config import derive_configuration
+from repro.core.evolve import (
+    add_operators,
+    reprofile_for_hardware,
+    subscribe_to_existing,
+)
+from repro.errors import ConfigurationError
+from repro.operators.library import Consumer, default_library
+from repro.retrieval.speed import retrieval_speed
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    library = default_library(names=("Motion", "License", "OCR"))
+    return derive_configuration(library)
+
+
+@pytest.fixture(scope="module")
+def grown_library():
+    return default_library(names=("Motion", "License", "OCR", "Opflow",
+                                  "Contour"))
+
+
+class TestAddOperators:
+    def test_new_consumers_get_decisions(self, base_config, grown_library):
+        new = [Consumer("Opflow", 0.9), Consumer("Contour", 0.8)]
+        evolved = add_operators(base_config, grown_library, new)
+        for consumer in new:
+            decision = evolved.forthcoming.decision_for(consumer)
+            assert decision.accuracy >= consumer.accuracy
+
+    def test_legacy_subscriptions_satisfy_fidelity(self, base_config,
+                                                   grown_library):
+        """R1 on existing footage: the legacy SF is richer than the new CF;
+        the golden format guarantees a candidate always exists."""
+        new = [Consumer("Opflow", 0.9), Consumer("Contour", 0.8)]
+        evolved = add_operators(base_config, grown_library, new)
+        assert len(evolved.legacy) == 2
+        for sub in evolved.legacy:
+            assert sub.storage in base_config.plan.formats
+            assert sub.storage.fidelity.richer_equal(sub.decision.fidelity)
+            assert sub.effective_speed <= sub.decision.consumption_speed
+
+    def test_legacy_speed_may_be_suboptimal(self, base_config, grown_library):
+        """Section 7: on existing videos operators run with designated
+        accuracies, 'albeit slower than optimal'."""
+        new = [Consumer("Contour", 0.7)]  # a fast consumer
+        evolved = add_operators(base_config, grown_library, new)
+        sub = evolved.legacy[0]
+        if not sub.optimal:
+            assert (sub.effective_speed
+                    < sub.decision.consumption_speed)
+
+    def test_existing_consumers_preserved(self, base_config, grown_library):
+        new = [Consumer("Opflow", 0.9)]
+        evolved = add_operators(base_config, grown_library, new)
+        assert set(base_config.consumers).issubset(
+            set(evolved.forthcoming.consumers)
+        )
+
+    def test_duplicate_addition_rejected(self, base_config, grown_library):
+        with pytest.raises(ConfigurationError):
+            add_operators(base_config, grown_library,
+                          [Consumer("Motion", 0.9)])  # already configured
+
+    def test_unknown_profile_dataset_rejected(self, base_config,
+                                              grown_library):
+        with pytest.raises(ConfigurationError):
+            add_operators(base_config, grown_library,
+                          [Consumer("Opflow", 0.9)],
+                          profile_datasets={"Motion": "dashcam"})
+
+
+class TestSubscribeToExisting:
+    def test_picks_fastest_satisfiable(self, base_config):
+        decision = base_config.decisions[0]
+        sub = subscribe_to_existing(decision, base_config.plan.formats)
+        for sf in base_config.plan.formats:
+            if sf.fidelity.richer_equal(decision.fidelity):
+                assert (retrieval_speed(sub.storage.fmt,
+                                        decision.fidelity.sampling)
+                        >= retrieval_speed(sf.fmt,
+                                           decision.fidelity.sampling))
+
+
+class TestHardwareChange:
+    def test_faster_hardware_never_slows_consumers(self, base_config):
+        library = default_library(names=("Motion", "License", "OCR"))
+        faster = reprofile_for_hardware(library, base_config, speedup=4.0)
+        for consumer in base_config.consumers:
+            old = base_config.decision_for(consumer).consumption_speed
+            new = faster.decision_for(consumer).consumption_speed
+            assert new >= old * 0.999
+
+    def test_cost_model_restored_after_reprofiling(self, base_config):
+        library = default_library(names=("Motion", "License", "OCR"))
+        before = {op.name: op.cost_base for op in library}
+        reprofile_for_hardware(library, base_config, speedup=2.0)
+        after = {op.name: op.cost_base for op in library}
+        assert before == pytest.approx(after)
+
+    def test_invalid_speedup(self, base_config):
+        library = default_library(names=("Motion",))
+        with pytest.raises(ConfigurationError):
+            reprofile_for_hardware(library, base_config, speedup=0.0)

@@ -1,0 +1,153 @@
+"""Fidelity knobs and the richer-than partial order (Table 1, Section 2.3)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FidelityError, KnobError
+from repro.video.fidelity import (
+    CROP_FACTORS,
+    Fidelity,
+    QUALITIES,
+    RESOLUTION_ORDER,
+    RESOLUTIONS,
+    SAMPLING_RATES,
+    downgrades_of,
+    fidelity_space,
+    fidelity_space_size,
+    knob_counts,
+    knobwise_max,
+    richest_fidelity,
+)
+
+fidelities = st.builds(
+    Fidelity,
+    quality=st.sampled_from(QUALITIES),
+    resolution=st.sampled_from(RESOLUTION_ORDER),
+    sampling=st.sampled_from(SAMPLING_RATES),
+    crop=st.sampled_from(CROP_FACTORS),
+)
+
+
+def test_knob_domains_match_table1():
+    counts = knob_counts()
+    assert counts == {"quality": 4, "resolution": 10, "sampling": 5, "crop": 3}
+    assert fidelity_space_size() == 600
+
+
+def test_space_enumerates_exactly_once():
+    space = list(fidelity_space())
+    assert len(space) == 600
+    assert len(set(space)) == 600
+
+
+def test_illegal_knob_values_rejected():
+    with pytest.raises(KnobError):
+        Fidelity("great", "720p", Fraction(1), 1.0)
+    with pytest.raises(KnobError):
+        Fidelity("best", "480p", Fraction(1), 1.0)
+    with pytest.raises(KnobError):
+        Fidelity("best", "720p", Fraction(1, 3), 1.0)
+    with pytest.raises(KnobError):
+        Fidelity("best", "720p", Fraction(1), 0.9)
+
+
+def test_pixels_monotone_in_resolution_order():
+    pixel_counts = [RESOLUTIONS[r][0] * RESOLUTIONS[r][1] for r in RESOLUTION_ORDER]
+    assert pixel_counts == sorted(pixel_counts)
+
+
+def test_dimensions_apply_crop():
+    f = Fidelity("best", "720p", Fraction(1), 0.5)
+    assert f.dimensions == (640, 360)
+    assert f.pixels == 640 * 360
+
+
+def test_fps_follows_sampling():
+    assert Fidelity("best", "720p", Fraction(1, 30), 1.0).fps == 1.0
+    assert Fidelity("best", "720p", Fraction(1), 1.0).fps == 30.0
+
+
+def test_label_round_trip():
+    f = Fidelity("good", "540p", Fraction(1, 6), 0.75)
+    assert f.label == "good-540p-1/6-75%"
+    assert Fidelity.parse(f.label) == f
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(KnobError):
+        Fidelity.parse("good-540p-1/6")
+    with pytest.raises(KnobError):
+        Fidelity.parse("good-540p-1/6-75")
+
+
+def test_richest_is_ingest_format():
+    top = richest_fidelity()
+    assert top.label == "best-720p-1-100%"
+    assert all(top.richer_equal(f) for f in fidelity_space())
+
+
+def test_richer_than_strict_vs_equal():
+    a = Fidelity("good", "540p", Fraction(1, 2), 1.0)
+    b = Fidelity("good", "540p", Fraction(1, 6), 1.0)
+    assert a.richer_than(b)
+    assert a.richer_equal(a)
+    assert not a.richer_than(a)
+
+
+def test_incomparable_pair_from_paper():
+    # good-50%-720p-1/2 vs bad-100%-540p-1 (Section 2.3).
+    x = Fidelity("good", "720p", Fraction(1, 2), 0.5)
+    y = Fidelity("bad", "540p", Fraction(1), 1.0)
+    assert not x.richer_equal(y)
+    assert not y.richer_equal(x)
+    assert not x.comparable(y)
+
+
+def test_degrade_to_enforces_r1():
+    rich = Fidelity("best", "720p", Fraction(1), 1.0)
+    poor = Fidelity("bad", "180p", Fraction(1, 30), 0.5)
+    assert rich.degrade_to(poor) == poor
+    with pytest.raises(FidelityError):
+        poor.degrade_to(rich)
+
+
+@given(fidelities, fidelities)
+def test_partial_order_antisymmetry(a, b):
+    if a.richer_equal(b) and b.richer_equal(a):
+        assert a == b
+
+
+@given(fidelities, fidelities, fidelities)
+def test_partial_order_transitivity(a, b, c):
+    if a.richer_equal(b) and b.richer_equal(c):
+        assert a.richer_equal(c)
+
+
+@given(fidelities, fidelities)
+def test_knobwise_max_is_least_upper_bound(a, b):
+    top = knobwise_max([a, b])
+    assert top.richer_equal(a) and top.richer_equal(b)
+    # No strictly poorer option is also an upper bound.
+    for other in fidelity_space():
+        if top.richer_than(other):
+            assert not (other.richer_equal(a) and other.richer_equal(b))
+
+
+@given(fidelities)
+def test_knobwise_max_idempotent(a):
+    assert knobwise_max([a, a]) == a
+
+
+def test_knobwise_max_empty_rejected():
+    with pytest.raises(FidelityError):
+        knobwise_max([])
+
+
+def test_downgrades_are_exactly_the_down_set():
+    f = Fidelity("bad", "100p", Fraction(1, 6), 0.75)
+    downs = downgrades_of(f)
+    assert f in downs
+    assert all(f.richer_equal(d) for d in downs)
+    assert len(downs) == 2 * 2 * 2 * 2  # 2 poorer-or-equal values per knob

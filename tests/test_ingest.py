@@ -1,0 +1,111 @@
+"""Ingestion: budgets, transcoder fan-out, pipeline accounting."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import BudgetError
+from repro.ingest.budget import IngestBudget, cores_required
+from repro.ingest.pipeline import IngestionPipeline
+from repro.ingest.transcoder import Transcoder
+from repro.storage.disk import DiskModel
+from repro.storage.kvstore import KVStore
+from repro.storage.segment_store import SegmentStore
+from repro.units import DAY, GB
+from repro.video.coding import Coding, RAW
+from repro.video.fidelity import Fidelity
+from repro.video.format import StorageFormat
+from repro.video.segment import Segment
+
+FORMATS = [
+    StorageFormat(Fidelity.parse("best-720p-1-100%"), Coding("slowest", 250)),
+    StorageFormat(Fidelity.parse("good-540p-1/6-100%"), Coding("slow", 250)),
+    StorageFormat(Fidelity.parse("best-200p-1-100%"), RAW),
+]
+
+
+class TestBudget:
+    def test_cores_required_sums_encode_costs(self):
+        total = cores_required(FORMATS)
+        parts = [cores_required([f]) for f in FORMATS]
+        assert total == pytest.approx(sum(parts))
+        assert total > 1.0  # the golden slowest format alone needs cores
+
+    def test_unlimited_budget_allows_anything(self):
+        assert IngestBudget().allows(FORMATS)
+        assert IngestBudget().headroom(FORMATS) == float("inf")
+
+    def test_tight_budget_rejects(self):
+        assert not IngestBudget(0.1).allows(FORMATS)
+        assert IngestBudget(0.1).headroom(FORMATS) < 0
+
+
+class TestTranscoder:
+    def test_fan_out_one_segment_per_format(self):
+        t = Transcoder(FORMATS, clock=SimClock())
+        outs = t.transcode(Segment("cam", 0), activity=0.4)
+        assert [o.fmt for o in outs] == FORMATS
+
+    def test_cpu_utilization_metric(self):
+        t = Transcoder(FORMATS, clock=SimClock())
+        assert t.cpu_utilization_percent == pytest.approx(
+            t.cores_required * 100.0
+        )
+
+    def test_budget_enforced_at_construction(self):
+        with pytest.raises(BudgetError):
+            Transcoder(FORMATS, budget=IngestBudget(0.01))
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        kv = KVStore(str(tmp_path / "seg.log"))
+        yield SegmentStore(kv, DiskModel(clock=SimClock()))
+        kv.close()
+
+    def test_ingest_segments_stores_everything(self, store):
+        pipe = IngestionPipeline("tucson", FORMATS, store=store,
+                                 clock=SimClock())
+        pipe.ingest_segments(4)
+        for fmt in FORMATS:
+            assert store.indices("tucson", fmt) == [0, 1, 2, 3]
+
+    def test_ingest_requires_store(self):
+        pipe = IngestionPipeline("tucson", FORMATS, clock=SimClock())
+        with pytest.raises(ValueError):
+            pipe.ingest_segments(1)
+
+    def test_ingest_charges_clock(self, store):
+        clock = SimClock()
+        pipe = IngestionPipeline("tucson", FORMATS, store=store, clock=clock)
+        pipe.ingest_segments(2)
+        assert clock.spent("ingest") > 0
+
+    def test_report_extrapolates_day(self):
+        pipe = IngestionPipeline("jackson", FORMATS, clock=SimClock())
+        report = pipe.report()
+        assert report.bytes_per_day == pytest.approx(
+            report.bytes_per_second * DAY
+        )
+        assert set(report.per_format_bytes_per_second) == {
+            f.label for f in FORMATS
+        }
+        assert report.bytes_per_second == pytest.approx(
+            sum(report.per_format_bytes_per_second.values())
+        )
+        # A handful of formats lands in the tens-to-hundreds of GB/day.
+        assert 10 * GB < report.bytes_per_day < 3000 * GB
+
+    def test_dashcam_costs_more_than_park(self):
+        """Figure 11b: intense motion makes dashcam the most expensive
+        stream to store by a wide margin (for encoded formats; raw frames
+        do not care about motion)."""
+        encoded = FORMATS[:2]
+        dash = IngestionPipeline("dashcam", encoded, clock=SimClock()).report()
+        park = IngestionPipeline("park", encoded, clock=SimClock()).report()
+        assert dash.bytes_per_day > 1.8 * park.bytes_per_day
+
+    def test_activity_cached(self):
+        pipe = IngestionPipeline("jackson", FORMATS, clock=SimClock())
+        a = pipe.mean_activity()
+        assert pipe.mean_activity() == a

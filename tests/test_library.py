@@ -1,0 +1,64 @@
+"""Operator library and consumers."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.operators.library import (
+    Consumer,
+    DEFAULT_ACCURACIES,
+    OperatorLibrary,
+    TABLE2_ORDER,
+    default_library,
+)
+from repro.operators.nn import NNOperator
+
+
+def test_default_library_has_all_table2_operators():
+    lib = default_library()
+    assert set(lib.names) == set(TABLE2_ORDER)
+    assert len(lib) == 9
+
+
+def test_default_accuracies_match_paper():
+    assert DEFAULT_ACCURACIES == (0.95, 0.90, 0.80, 0.70)
+
+
+def test_consumers_cross_product():
+    lib = default_library(names=("Diff", "NN"))
+    consumers = lib.consumers()
+    assert len(consumers) == 2 * 4
+    assert Consumer("NN", 0.8) in consumers
+
+
+def test_consumers_subset():
+    lib = default_library()
+    subset = lib.consumers(["License"])
+    assert {c.operator for c in subset} == {"License"}
+
+
+def test_duplicate_registration_rejected():
+    lib = OperatorLibrary()
+    lib.register(NNOperator())
+    with pytest.raises(QueryError):
+        lib.register(NNOperator())
+
+
+def test_unknown_operator_raises_with_names():
+    lib = default_library(names=("Diff",))
+    with pytest.raises(QueryError, match="Diff"):
+        lib.get("NN")
+
+
+def test_unknown_factory_name():
+    with pytest.raises(QueryError):
+        default_library(names=("Quantum",))
+
+
+def test_consumer_label():
+    assert Consumer("OCR", 0.9).label == "<OCR, 0.90>"
+
+
+def test_iteration_yields_operators():
+    lib = default_library(names=("Diff", "NN"))
+    assert {op.name for op in lib} == {"Diff", "NN"}
+    assert "Diff" in lib and "OCR" not in lib

@@ -1,0 +1,55 @@
+"""Per-operator accuracy selection in queries (Section 6.1: users specify
+accuracy levels for the constituting operators)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.cascade import QUERY_B
+from repro.query.engine import QueryEngine
+
+
+@pytest.fixture(scope="module")
+def engine(configuration, query_library):
+    return QueryEngine(configuration, query_library, "dashcam")
+
+
+def test_mixed_matches_uniform_when_equal(engine):
+    uniform = engine.estimate(QUERY_B, 0.9, 3600.0)
+    mixed = engine.estimate_mixed(
+        QUERY_B, {"Motion": 0.9, "License": 0.9, "OCR": 0.9}, 3600.0
+    )
+    assert mixed.speed == pytest.approx(uniform.speed)
+
+
+def test_cheap_early_expensive_late(engine):
+    """A common interactive pattern: crank the early filter down, keep the
+    final stage accurate — faster than uniformly accurate."""
+    uniform = engine.estimate(QUERY_B, 0.95, 3600.0)
+    mixed = engine.estimate_mixed(
+        QUERY_B, {"Motion": 0.7, "License": 0.8, "OCR": 0.95}, 3600.0
+    )
+    assert mixed.speed >= uniform.speed
+    assert mixed.stages[-1].accuracy == 0.95
+    assert mixed.stages[0].accuracy == 0.7
+
+
+def test_report_accuracy_is_minimum(engine):
+    mixed = engine.estimate_mixed(
+        QUERY_B, {"Motion": 0.7, "License": 0.9, "OCR": 0.95}, 3600.0
+    )
+    assert mixed.accuracy == 0.7
+
+
+def test_missing_operator_accuracy_raises(engine):
+    with pytest.raises(QueryError, match="OCR"):
+        engine.estimate_mixed(QUERY_B, {"Motion": 0.9, "License": 0.9},
+                              3600.0)
+
+
+def test_unconfigured_accuracy_level_raises(engine):
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        # 0.85 is not one of the declared accuracy levels.
+        engine.estimate_mixed(
+            QUERY_B, {"Motion": 0.85, "License": 0.9, "OCR": 0.9}, 3600.0
+        )

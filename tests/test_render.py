@@ -1,0 +1,63 @@
+"""Pixel rendering of synthetic frames (the optional visual path)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.video.datasets import get_dataset
+from repro.video.fidelity import Fidelity
+from repro.video.render import render_clip, render_frame
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_dataset("jackson").content()
+
+
+def test_frame_dimensions_follow_fidelity(model):
+    f = Fidelity("good", "200p", Fraction(1), 0.75)
+    img = render_frame(model, 10.0, f)
+    assert img.shape == (150, 150)
+    assert img.dtype == np.uint8
+
+
+def test_rendering_is_deterministic(model):
+    f = Fidelity("bad", "144p", Fraction(1), 1.0)
+    a = render_frame(model, 33.0, f)
+    b = render_frame(model, 33.0, f)
+    assert (a == b).all()
+
+
+def test_quality_adds_noise(model):
+    t = 20.0
+    base = render_frame(model, t, Fidelity("best", "200p", Fraction(1), 1.0))
+    noisy = render_frame(model, t, Fidelity("worst", "200p", Fraction(1), 1.0))
+    diff = np.abs(base.astype(int) - noisy.astype(int))
+    assert diff.mean() > 3.0  # visible compression-like noise
+
+
+def test_objects_change_pixels(model):
+    # Find a time with a visible object; the frame should differ from the
+    # empty background at the same nominal time without objects.
+    f = Fidelity("best", "200p", Fraction(1), 1.0)
+    tracks = model.tracks_between(0.0, 600.0)
+    # Pick a high-contrast dark or bright vehicle so the rectangle stands
+    # out from the mid-grey background.
+    visible = next(
+        t for t in tracks
+        if t.in_crop((t.t0 + t.t1) / 2, 0.9) and t.size > 0.06
+        and t.color in ("white", "black") and t.contrast > 0.7
+    )
+    mid = (visible.t0 + visible.t1) / 2
+    with_obj = render_frame(model, mid, f)
+    empty_t = 1e7  # far future; almost surely empty
+    if not model.frame_truth(empty_t).visible:
+        without = render_frame(model, empty_t, f)
+        assert np.abs(with_obj.astype(int) - without.astype(int)).max() > 20
+
+
+def test_render_clip_respects_sampling(model):
+    f = Fidelity("good", "100p", Fraction(1, 6), 1.0)
+    clip = render_clip(model, 0.0, 2.0, f)
+    assert clip.shape == (10, 100, 100)  # 2 s at 5 fps

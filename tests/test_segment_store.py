@@ -1,0 +1,112 @@
+"""Segment store: per-format indexing and footprint accounting."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.codec.encoder import Encoder
+from repro.storage.disk import DiskModel
+from repro.storage.kvstore import KVStore
+from repro.storage.segment_store import SegmentStore
+from repro.video.coding import Coding, RAW
+from repro.video.fidelity import Fidelity
+from repro.video.format import StorageFormat
+from repro.video.segment import Segment
+
+FMT_A = StorageFormat(Fidelity.parse("good-540p-1/6-100%"), Coding("fast", 10))
+FMT_B = StorageFormat(Fidelity.parse("best-200p-1-100%"), RAW)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    kv = KVStore(str(tmp_path / "segments.log"))
+    yield SegmentStore(kv, DiskModel(clock=SimClock()))
+    kv.close()
+
+
+def _encode(fmt, index, materialize=False):
+    return Encoder(clock=SimClock()).encode(
+        Segment("cam", index), fmt, activity=0.4, materialize=materialize
+    )
+
+
+def test_put_get_roundtrip(store):
+    encoded = _encode(FMT_A, 0)
+    store.put(encoded)
+    got = store.get("cam", FMT_A, 0)
+    assert got.size_bytes == encoded.size_bytes
+    assert got.n_frames == encoded.n_frames
+    assert got.fmt == FMT_A
+    assert got.segment.t0 == 0.0
+
+
+def test_get_charges_disk(store):
+    store.put(_encode(FMT_A, 0))
+    before = store.disk.clock.spent("disk")
+    store.get("cam", FMT_A, 0)
+    assert store.disk.clock.spent("disk") > before
+
+
+def test_meta_does_not_charge_disk(store):
+    store.put(_encode(FMT_A, 0))
+    spent = store.disk.clock.spent("disk")
+    store.meta("cam", FMT_A, 0)
+    assert store.disk.clock.spent("disk") == spent
+
+
+def test_indices_and_formats(store):
+    for i in (0, 1, 5):
+        store.put(_encode(FMT_A, i))
+    store.put(_encode(FMT_B, 1))
+    assert store.indices("cam", FMT_A) == [0, 1, 5]
+    assert store.indices("cam", FMT_B) == [1]
+    labels = sorted(f.label for f in store.formats("cam"))
+    assert labels == sorted([FMT_A.label, FMT_B.label])
+
+
+def test_footprint_accounting(store):
+    a0, a1 = _encode(FMT_A, 0), _encode(FMT_A, 1)
+    b0 = _encode(FMT_B, 0)
+    for e in (a0, a1, b0):
+        store.put(e)
+    assert store.footprint("cam", FMT_A) == a0.size_bytes + a1.size_bytes
+    assert store.footprint("cam", FMT_B) == b0.size_bytes
+    assert store.footprint("cam") == store.total_bytes()
+    assert store.segment_count("cam", FMT_A) == 2
+
+
+def test_delete_updates_footprint(store):
+    e = _encode(FMT_A, 0)
+    store.put(e)
+    assert store.delete("cam", FMT_A, 0)
+    assert store.footprint("cam", FMT_A) == 0
+    assert not store.delete("cam", FMT_A, 0)
+    assert not store.contains("cam", FMT_A, 0)
+
+
+def test_payload_roundtrip(store):
+    e = _encode(FMT_B, 3, materialize=True)
+    store.put(e)
+    assert store.payload("cam", FMT_B, 3) == e.payload
+
+
+def test_footprints_survive_reopen(tmp_path):
+    path = str(tmp_path / "segments.log")
+    kv = KVStore(path)
+    store = SegmentStore(kv, DiskModel(clock=SimClock()))
+    e = _encode(FMT_A, 0)
+    store.put(e)
+    kv.close()
+
+    kv2 = KVStore(path)
+    store2 = SegmentStore(kv2, DiskModel(clock=SimClock()))
+    assert store2.footprint("cam", FMT_A) == e.size_bytes
+    assert store2.indices("cam", FMT_A) == [0]
+    kv2.close()
+
+
+def test_overwrite_does_not_double_count(store):
+    e = _encode(FMT_A, 0)
+    store.put(e)
+    store.put(e)
+    assert store.footprint("cam", FMT_A) == e.size_bytes
+    assert store.segment_count("cam", FMT_A) == 1

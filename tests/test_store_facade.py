@@ -1,0 +1,94 @@
+"""The VStore facade: configure / ingest / query / execute / age."""
+
+import pytest
+
+from repro.core.store import VStore
+from repro.errors import ConfigurationError, QueryError
+from repro.operators.library import default_library
+from repro.units import DAY
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    workdir = str(tmp_path_factory.mktemp("vstore"))
+    lib = default_library(names=("Diff", "S-NN", "NN", "Motion", "License",
+                                 "OCR"))
+    with VStore(workdir=workdir, library=lib) as s:
+        s.configure()
+        yield s
+
+
+def test_configure_is_cached(store):
+    a = store.configure()
+    b = store.configure()
+    assert a is b
+    assert store.configure(force=True) is not a
+
+
+def test_unconfigured_store_rejects_use(tmp_path):
+    s = VStore()
+    with pytest.raises(ConfigurationError):
+        _ = s.configuration
+
+
+def test_analytic_query(store):
+    report = store.query("A", dataset="jackson", accuracy=0.9,
+                         duration=3600.0)
+    assert report.speed > 1.0
+    assert report.scheme == "VStore"
+
+
+def test_ingest_and_execute(store):
+    store.ingest("jackson", n_segments=6)
+    result = store.execute("A", dataset="jackson", accuracy=0.8,
+                           t0=0.0, t1=48.0)
+    assert result.video_seconds == 48.0
+    assert result.compute_seconds > 0
+    assert result.speed > 1.0
+    # The cascade narrows: later stages touch no more segments.
+    touched = [result.segments_per_stage[op] for op in ("Diff", "S-NN", "NN")]
+    assert touched == sorted(touched, reverse=True)
+    assert touched[0] == 6
+
+
+def test_execution_beats_golden_only_scheme(store):
+    """End to end through real storage: the derived SF set outruns
+    consuming from the golden format (Figure 11a's mechanism)."""
+    from repro.query.alternatives import one_to_n_scheme
+    from repro.query.cascade import QUERY_A
+
+    store.ingest("jackson", n_segments=4)
+    engine = store.engine("jackson")
+    vstore = engine.execute(QUERY_A, 0.8, store.segments, 0.0, 32.0)
+    capped = engine.execute(QUERY_A, 0.8, store.segments, 0.0, 32.0,
+                            scheme=one_to_n_scheme(store.configuration))
+    assert vstore.speed >= capped.speed
+
+
+def test_ingestion_report(store):
+    report = store.ingestion_report("jackson")
+    assert report.cores_required > 0
+    assert report.bytes_per_day > 0
+
+
+def test_age_executes_erosion(tmp_path):
+    lib = default_library(names=("Motion", "License", "OCR"))
+    with VStore(workdir=str(tmp_path / "w"), library=lib,
+                lifespan_days=2) as s:
+        config = s.configure()
+        s.ingest("dashcam", n_segments=10)
+        # Far in the future: everything is past the 2-day lifespan.
+        deleted = s.age("dashcam", now_seconds=10 * DAY)
+        assert deleted == 10 * len(config.storage_formats)
+
+
+def test_execute_requires_workdir():
+    s = VStore()
+    s.configure()
+    with pytest.raises(QueryError):
+        s.execute("A", dataset="jackson", accuracy=0.9, t0=0.0, t1=8.0)
+
+
+def test_empty_execute_range_rejected(store):
+    with pytest.raises(QueryError):
+        store.execute("A", dataset="jackson", accuracy=0.9, t0=8.0, t1=8.0)

@@ -1,0 +1,54 @@
+"""Programmatic figure-data series."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    erosion_series,
+    keyframe_series,
+    query_speed_series,
+    speed_step_series,
+)
+from repro.query.cascade import QUERY_A
+
+
+def test_speed_step_series_shape():
+    data = speed_step_series()
+    assert data["step"] == ["slowest", "slow", "med", "fast", "fastest"]
+    assert len(data["encode_speed"]) == 5
+    assert data["encode_speed"] == sorted(data["encode_speed"])
+    assert data["bytes_per_second"] == sorted(data["bytes_per_second"])
+
+
+def test_keyframe_series_shape():
+    data = keyframe_series()
+    assert data["keyframe_interval"] == [5, 10, 50, 100, 250]
+    # Sparse decode falls with growing GOP; size falls too.
+    assert data["decode_sparse"] == sorted(data["decode_sparse"],
+                                           reverse=True)
+    assert data["bytes_per_second"] == sorted(data["bytes_per_second"],
+                                              reverse=True)
+
+
+def test_query_speed_series(configuration, query_library):
+    data = query_speed_series(configuration, query_library, QUERY_A,
+                              "jackson")
+    assert data["accuracy"] == [0.95, 0.9, 0.8, 0.7]
+    assert len(data["VStore"]) == 4
+    assert all(v > 0 for v in data["VStore"])
+    # 1->1 is a fixed operating point: one speed at every accuracy.
+    assert max(data["1->1"]) == pytest.approx(min(data["1->1"]))
+
+
+def test_erosion_series(configuration):
+    plan = configuration.erosion
+    data = erosion_series(plan)
+    assert data["age"] == list(range(1, plan.lifespan_days + 1))
+    assert len(data["overall_speed"]) == plan.lifespan_days
+    per_format_keys = [k for k in data if k.startswith("residual:")]
+    assert len(per_format_keys) == len(plan.labels)
+    totals = data["total_residual_bytes"]
+    summed = [
+        sum(data[k][i] for k in per_format_keys)
+        for i in range(plan.lifespan_days)
+    ]
+    assert totals == pytest.approx(summed)
