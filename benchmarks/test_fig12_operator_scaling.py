@@ -3,31 +3,33 @@
 Adding operators to the library (in Table 2 order) grows the ingestion
 cost only until the storage-format set covers the demand space; further
 operators share existing formats and the cost plateaus.
+
+The sweep shares operator profilers across points (an operator's profile
+does not depend on which other operators are deployed) and coding
+profilers per content activity, so each point profiles only what its new
+operator demands.
 """
 
-from repro.core.config import derive_configuration
-from repro.operators.library import TABLE2_ORDER, default_library
+from repro.analysis.sweeps import operator_scaling_series
+from repro.operators.library import TABLE2_ORDER
 
 
 def test_fig12_ingest_cost_plateaus(benchmark, record):
-    def sweep():
-        rows = []
-        for n in range(1, len(TABLE2_ORDER) + 1):
-            library = default_library(names=TABLE2_ORDER[:n])
-            config = derive_configuration(library)
-            rows.append((n, TABLE2_ORDER[n - 1],
-                         config.plan.ingest_cores * 100.0,
-                         len(config.plan.formats)))
-        return rows
+    series = benchmark.pedantic(
+        operator_scaling_series, rounds=1, iterations=1
+    )
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-
-    lines = [f"{'#ops':>5} {'added':>9} {'CPU %':>8} {'#SFs':>5}"]
-    for n, op, cpu, sfs in rows:
-        lines.append(f"{n:>5} {op:>9} {cpu:>8.0f} {sfs:>5}")
+    lines = [f"{'#ops':>5} {'added':>9} {'CPU %':>8} {'#SFs':>5} {'memo':>6}"]
+    for n, op, cores, sfs, memo in zip(
+        series["n_operators"], series["added"], series["ingest_cores"],
+        series["n_formats"], series["memo_hit_rate"],
+    ):
+        lines.append(
+            f"{n:>5} {op:>9} {cores * 100.0:>8.0f} {sfs:>5} {memo:>6.1%}"
+        )
     record("Figure 12 — operator scaling", "\n".join(lines))
 
-    cpus = [r[2] for r in rows]
+    cpus = [c * 100.0 for c in series["ingest_cores"]]
     # The cost stabilizes in the tail: the last additions are cheap
     # relative to the growth at the head (the paper's plateau beyond 5).
     head_growth = max(cpus[:5]) - min(cpus[:5])
@@ -35,3 +37,4 @@ def test_fig12_ingest_cost_plateaus(benchmark, record):
     assert tail_growth <= max(head_growth, 0.35 * max(cpus))
     # And the last operator adds almost nothing.
     assert cpus[-1] <= cpus[-2] * 1.25 + 1.0
+    assert len(cpus) == len(TABLE2_ORDER)

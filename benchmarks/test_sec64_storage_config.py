@@ -64,20 +64,22 @@ def test_memoization_dominates(benchmark, record, full_library):
         return profiler
 
     profiler = benchmark.pedantic(run, rounds=1, iterations=1)
-    looked_up = profiler.stats.runs + profiler.stats.memo_hits
-    ratio = profiler.stats.memo_hits / looked_up
+    stats = profiler.stats
     record(
         "Section 6.4 — memoization",
-        f"profiling runs: {profiler.stats.runs}\n"
-        f"memoized lookups: {profiler.stats.memo_hits} ({ratio:.1%})\n"
+        f"profiling runs: {stats.runs}\n"
+        f"memoized reuse: {stats.memo_hits} profiler-memo + "
+        f"{stats.adequacy_hits} adequacy-cache ({stats.reuse_rate:.1%})\n"
         f"of the 15,600 possible storage formats, "
-        f"{profiler.stats.runs} were profiled "
-        f"({profiler.stats.runs / 15600:.1%})",
+        f"{stats.runs} were profiled "
+        f"({stats.runs / 15600:.1%})",
     )
     # The paper: 92% of examined formats were already memoized, and only
-    # ~3% of the whole SF space is ever profiled.
-    assert ratio > 0.8
-    assert profiler.stats.runs < 0.1 * 15600
+    # ~3% of the whole SF space is ever profiled.  The incremental planner
+    # examines formats fewer times overall, and reuse lands across two
+    # caches (profiler memo and planner adequacy verdicts).
+    assert stats.reuse_rate > 0.8
+    assert stats.runs < 0.1 * 15600
 
 
 def test_distance_based_tradeoff(benchmark, record, full_library):

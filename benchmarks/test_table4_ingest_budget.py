@@ -3,49 +3,44 @@
 As the cores available for transcoding one stream drop, VStore tunes
 coding toward faster (cheaper-to-encode) options and coalesces further,
 staying under budget at the price of a modest storage increase.
+
+The sweep threads one shared profiler set (and profile table) through all
+budget points; later points replan from memoized profiles alone.
 """
 
+from repro.analysis.sweeps import budget_sweep_series
 from repro.core.config import derive_configuration
 from repro.ingest.budget import IngestBudget, cores_required
 from repro.units import DAY
 
 
 def test_table4_budget_sweep(benchmark, record, library):
-    def sweep():
-        rows = []
-        baseline = derive_configuration(library)
-        budgets = [None] + [
-            max(0.35, baseline.plan.ingest_cores * f)
-            for f in (0.8, 0.55, 0.4)
-        ]
-        for cores in budgets:
-            config = derive_configuration(
-                library, ingest_budget=IngestBudget(cores)
-            )
-            rows.append((
-                cores,
-                config.plan.ingest_cores,
-                config.plan.storage_bytes_per_second,
-                tuple(sf.fmt.coding.label for sf in config.plan.formats),
-            ))
-        return rows
+    series = benchmark.pedantic(
+        lambda: budget_sweep_series(library), rounds=1, iterations=1
+    )
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-
-    lines = [f"{'budget':>9} {'cores':>7} {'MB/s':>7} {'GB/day':>8}  codings"]
-    for cores, used, rate, codings in rows:
+    rows = list(zip(
+        series["budget"], series["ingest_cores"],
+        series["storage_bytes_per_second"], series["codings"],
+        series["memo_hit_rate"],
+    ))
+    lines = [f"{'budget':>9} {'cores':>7} {'MB/s':>7} {'GB/day':>8} "
+             f"{'memo':>6}  codings"]
+    for cores, used, rate, codings, memo in rows:
         label = "none" if cores is None else f"{cores:.2f}"
         lines.append(
             f"{label:>9} {used:>7.2f} {rate / 2**20:>7.3f} "
-            f"{rate * DAY / 2**30:>8.1f}  [{', '.join(codings)}]"
+            f"{rate * DAY / 2**30:>8.1f} {memo:>6.1%}  [{', '.join(codings)}]"
         )
     record("Table 4 — ingestion budget", "\n".join(lines))
 
     unbudgeted = rows[0]
-    for cores, used, rate, codings in rows[1:]:
+    for cores, used, rate, codings, memo in rows[1:]:
         assert used <= cores + 1e-9  # the budget is respected
         # Storage may grow, but gently (the paper reports +17% at 1 core).
         assert rate <= unbudgeted[2] * 1.6
+        # Budgeted points replan almost entirely from the shared memo.
+        assert memo > 0.9
     # Tighter budgets never need more cores than looser ones.
     used_cores = [r[1] for r in rows]
     assert used_cores == sorted(used_cores, reverse=True)

@@ -2,24 +2,30 @@
 
 from repro.analysis.focus import FocusComparison
 from repro.analysis.sweeps import (
+    budget_sweep_series,
     erosion_series,
     keyframe_series,
+    operator_scaling_series,
     query_speed_series,
     speed_step_series,
 )
 from repro.analysis.tables import (
     format_configuration_table,
     format_erosion_table,
+    format_profiling_summary_table,
     format_query_speed_table,
 )
 
 __all__ = [
     "FocusComparison",
+    "budget_sweep_series",
     "erosion_series",
     "keyframe_series",
+    "operator_scaling_series",
     "query_speed_series",
     "speed_step_series",
     "format_configuration_table",
     "format_erosion_table",
+    "format_profiling_summary_table",
     "format_query_speed_table",
 ]

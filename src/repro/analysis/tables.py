@@ -56,6 +56,26 @@ def format_query_speed_table(
     return "\n".join(lines)
 
 
+def format_profiling_summary_table(
+    rows: Sequence[Dict[str, object]],
+) -> str:
+    """Render per-sweep-point profiling effort: runs, memo hits, hit rate.
+
+    Each row carries ``label``, ``runs``, ``memo_hits`` (cumulative counts
+    from the shared profiler) — the table shows how the Section 6.4
+    memoization claim (92% hit rate) holds up across a sweep.
+    """
+    lines = [f"{'point':>16} {'runs':>7} {'memo hits':>10} {'hit rate':>9}"]
+    for row in rows:
+        runs = int(row["runs"])
+        hits = int(row["memo_hits"])
+        rate = hits / (runs + hits) if runs + hits else 0.0
+        lines.append(
+            f"{str(row['label']):>16} {runs:>7} {hits:>10} {rate:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
 def format_erosion_table(config: Configuration) -> str:
     """Render the erosion plan: overall speed and residual bytes per age."""
     erosion = config.erosion

@@ -14,7 +14,12 @@ reports (Figure 3, Table 3):
 from repro.codec.chunks import decoded_frame_count, decoded_frame_fraction, gop_layout
 from repro.codec.decoder import Decoder
 from repro.codec.encoder import EncodedSegment, Encoder
-from repro.codec.model import CodecModel, DEFAULT_CODEC
+from repro.codec.model import CodecModel, DEFAULT_CODEC, SURFACE_CALLS
+from repro.codec.tables import (
+    ProfileTable,
+    clear_profile_table_cache,
+    get_profile_table,
+)
 
 __all__ = [
     "CodecModel",
@@ -22,7 +27,11 @@ __all__ = [
     "Decoder",
     "EncodedSegment",
     "Encoder",
+    "ProfileTable",
+    "SURFACE_CALLS",
+    "clear_profile_table_cache",
     "decoded_frame_count",
     "decoded_frame_fraction",
+    "get_profile_table",
     "gop_layout",
 ]

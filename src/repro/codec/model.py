@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.codec.chunks import decoded_frame_fraction
 from repro.errors import CodecError
@@ -78,6 +80,33 @@ KEYFRAME_OVERHEAD = 9.0
 RAW_BYTES_PER_PIXEL = 1.5
 
 
+class SurfaceCallCounter:
+    """Counts codec response-surface evaluations.
+
+    ``scalar`` counts one-point evaluations (the per-call path the planner
+    used before the vectorized profiling plane); ``grid`` counts whole-grid
+    batch evaluations.  The planner perf benchmark reads the deltas.
+    """
+
+    __slots__ = ("scalar", "grid")
+
+    def __init__(self) -> None:
+        self.scalar = 0
+        self.grid = 0
+
+    def reset(self) -> None:
+        self.scalar = 0
+        self.grid = 0
+
+    @property
+    def total(self) -> int:
+        return self.scalar + self.grid
+
+
+#: Process-wide accounting of codec-surface evaluations.
+SURFACE_CALLS = SurfaceCallCounter()
+
+
 @dataclass(frozen=True)
 class CodecModel:
     """Codec response-surface model with tunable base constants.
@@ -107,6 +136,7 @@ class CodecModel:
         """On-disk bytes per video second for an encoded storage format."""
         if coding.raw:
             return self.raw_bytes_per_second(fidelity)
+        SURFACE_CALLS.scalar += 1
         kf = coding.keyframe_interval
         kf_factor = (1.0 + KEYFRAME_OVERHEAD / kf) / (1.0 + KEYFRAME_OVERHEAD / 250.0)
         bits = (
@@ -121,6 +151,7 @@ class CodecModel:
 
     def raw_bytes_per_second(self, fidelity: Fidelity) -> float:
         """On-disk bytes per video second when storing raw YUV420 frames."""
+        SURFACE_CALLS.scalar += 1
         return fidelity.pixels * RAW_BYTES_PER_PIXEL * fidelity.fps
 
     def raw_frame_bytes(self, fidelity: Fidelity) -> float:
@@ -137,6 +168,7 @@ class CodecModel:
         Raw storage bypasses the encoder entirely; only a cheap resize/copy
         cost remains (an order of magnitude below real encoding).
         """
+        SURFACE_CALLS.scalar += 1
         mp = fidelity.pixels / 1e6
         if coding.raw:
             return fidelity.fps * 0.05e-3 * (1.0 + mp)
@@ -158,6 +190,7 @@ class CodecModel:
         """CPU seconds to decode a single frame of SF<f,c>."""
         if coding.raw:
             raise CodecError("raw storage formats are read, not decoded")
+        SURFACE_CALLS.scalar += 1
         mp = fidelity.pixels / 1e6
         per_frame_ms = (
             self.decode_ms_fixed + self.decode_ms_per_mp * mp
@@ -210,6 +243,89 @@ class CodecModel:
         """Decoding speed in x realtime for a consumer of this format."""
         cost = self.decode_seconds_per_video_second(stored, coding, consumer_sampling)
         return float("inf") if cost <= 0 else 1.0 / cost
+
+    # -- batch surfaces (the vectorized profiling plane) -----------------------
+    #
+    # Each grid method evaluates a whole (fidelity x coding) surface in one
+    # NumPy pass.  The elementwise operation order deliberately mirrors the
+    # scalar methods above so grid cells are bit-identical to per-call
+    # results — plan parity depends on it.
+
+    @staticmethod
+    def _fidelity_columns(fidelities: Sequence[Fidelity]):
+        pixels = np.array([f.pixels for f in fidelities], dtype=np.float64)
+        fps = np.array([f.fps for f in fidelities], dtype=np.float64)
+        return pixels, fps
+
+    def encoded_bytes_per_second_grid(
+        self,
+        fidelities: Sequence[Fidelity],
+        codings: Sequence[Coding],
+        activity: float = 0.35,
+    ) -> np.ndarray:
+        """``encoded_bytes_per_second`` over a (fidelity x coding) grid."""
+        SURFACE_CALLS.grid += 1
+        pixels, fps = self._fidelity_columns(fidelities)
+        bpp = np.array([BITS_PER_PIXEL[f.quality] for f in fidelities])
+        size_f = np.array([SIZE_FACTOR[c.speed_step] for c in codings])
+        kf_f = np.array([
+            (1.0 + KEYFRAME_OVERHEAD / c.keyframe_interval)
+            / (1.0 + KEYFRAME_OVERHEAD / 250.0)
+            for c in codings
+        ])
+        bits = (
+            ((pixels * fps * bpp)[:, None] * size_f[None, :])
+            * kf_f[None, :]
+            * self.activity_factor(activity)
+        )
+        return bits / 8.0
+
+    def raw_bytes_per_second_vector(
+        self, fidelities: Sequence[Fidelity]
+    ) -> np.ndarray:
+        """``raw_bytes_per_second`` over a fidelity axis."""
+        SURFACE_CALLS.grid += 1
+        pixels, fps = self._fidelity_columns(fidelities)
+        return pixels * RAW_BYTES_PER_PIXEL * fps
+
+    def encode_seconds_grid(
+        self, fidelities: Sequence[Fidelity], codings: Sequence[Coding]
+    ) -> np.ndarray:
+        """``encode_seconds_per_video_second`` over a (fidelity x coding) grid."""
+        SURFACE_CALLS.grid += 1
+        pixels, fps = self._fidelity_columns(fidelities)
+        mp = pixels / 1e6
+        enc_f = np.array([ENCODE_TIME_FACTOR[c.speed_step] for c in codings])
+        q_f = np.array([QUALITY_ENCODE_FACTOR[f.quality] for f in fidelities])
+        per_frame_ms = (
+            (self.encode_ms_fixed + self.encode_ms_per_mp * mp)[:, None]
+            * enc_f[None, :]
+            * q_f[:, None]
+        )
+        return fps[:, None] * per_frame_ms / 1000.0
+
+    def raw_encode_seconds_vector(
+        self, fidelities: Sequence[Fidelity]
+    ) -> np.ndarray:
+        """Raw-path ``encode_seconds_per_video_second`` over a fidelity axis."""
+        SURFACE_CALLS.grid += 1
+        pixels, fps = self._fidelity_columns(fidelities)
+        mp = pixels / 1e6
+        return fps * 0.05e-3 * (1.0 + mp)
+
+    def decode_frame_seconds_grid(
+        self, fidelities: Sequence[Fidelity], codings: Sequence[Coding]
+    ) -> np.ndarray:
+        """``decode_frame_seconds`` over a (fidelity x coding) grid."""
+        SURFACE_CALLS.grid += 1
+        pixels, _ = self._fidelity_columns(fidelities)
+        mp = pixels / 1e6
+        dec_f = np.array([DECODE_TIME_FACTOR[c.speed_step] for c in codings])
+        per_frame_ms = (
+            (self.decode_ms_fixed + self.decode_ms_per_mp * mp)[:, None]
+            * dec_f[None, :]
+        )
+        return per_frame_ms / 1000.0
 
 
 #: The model instance shared by default across the library.

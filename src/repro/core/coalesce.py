@@ -16,6 +16,18 @@ ultimate erosion fallback), VStore coalesces pairs:
   closest pair in normalized knob space without profiling pair outcomes;
 * **exhaustive enumeration** (validation baseline) scores every set
   partition of the consumption formats.
+
+Coalescing is *incremental*: pair-merge and coding-bump evaluations are
+cached across rounds, so after a merge only moves involving the new format
+are scored (O(n) fresh evaluations per round instead of an O(n^2) rescan),
+and retrieval-adequacy verdicts are memoized per (format, demand).  The
+caches only avoid recomputation — move scoring, iteration order and
+tie-breaking of ``heuristic_coalesce`` and ``distance_coalesce`` are
+unchanged, so their plans are identical to the non-incremental planner's.
+``exhaustive`` enumerates partitions in restricted-growth-string order
+(the legacy recursion visited them differently); a partition whose score
+*exactly ties* the optimum may therefore resolve to a different, equally
+optimal plan.
 """
 
 from __future__ import annotations
@@ -97,6 +109,8 @@ class CoalescePlan:
 
 def _storage_rank(profiler: CodingProfiler, fidelity: Fidelity) -> List[Coding]:
     """Encoded coding options ordered by on-disk size, cheapest first."""
+    if profiler.table is not None:
+        return list(profiler.table.storage_rank(fidelity))
     options = list(coding_space(include_raw=False))
     options.sort(
         key=lambda c: profiler.codec.encoded_bytes_per_second(
@@ -137,6 +151,52 @@ def cheapest_adequate_coding(
     return RAW
 
 
+class _MoveCache:
+    """Caches pair-merge and coding-bump evaluations across rounds.
+
+    Entries are keyed by the identity of the participating :class:`SFPlan`
+    objects (and hold strong references to them, so ids cannot be reused
+    while the cache lives).  Formats removed by a merge simply stop being
+    looked up; only pairs involving the freshly merged format are ever
+    evaluated anew.
+    """
+
+    def __init__(self, planner: "StorageFormatPlanner"):
+        self._planner = planner
+        self._pairs: Dict[tuple, tuple] = {}
+        self._bumps: Dict[int, tuple] = {}
+
+    def pair_move(
+        self, a: SFPlan, b: SFPlan
+    ) -> Optional[Tuple[float, float, SFPlan]]:
+        """(d_storage, d_ingest, merged) for a safe merge, else ``None``."""
+        key = (id(a), id(b))
+        entry = self._pairs.get(key)
+        if entry is None:
+            p = self._planner
+            merged = p.coalesce_pair(a, b)
+            if not p._merge_is_safe(merged, (a, b)):
+                move = None
+            else:
+                d_sto = (
+                    p.sf_storage(merged) - p.sf_storage(a) - p.sf_storage(b)
+                )
+                d_ing = p.sf_ingest(merged) - p.sf_ingest(a) - p.sf_ingest(b)
+                move = (d_sto, d_ing, merged)
+            entry = (a, b, move)
+            self._pairs[key] = entry
+        return entry[2]
+
+    def bump_move(self, sf: SFPlan) -> Optional[Tuple[float, float, SFPlan]]:
+        """(d_storage, d_ingest, bumped) for a useful coding step, else
+        ``None`` (raw, already fastest, inadequate, or no ingest saved)."""
+        entry = self._bumps.get(id(sf))
+        if entry is None:
+            entry = (sf, self._planner._evaluate_bump(sf))
+            self._bumps[id(sf)] = entry
+        return entry[1]
+
+
 class StorageFormatPlanner:
     """Coalesces consumption formats into storage formats."""
 
@@ -144,6 +204,7 @@ class StorageFormatPlanner:
                  budget: IngestBudget = IngestBudget()):
         self.profiler = profiler
         self.budget = budget
+        self._adequacy: Dict[Tuple[StorageFormat, Demand], bool] = {}
 
     # -- construction of the initial SF set ----------------------------------------
 
@@ -161,15 +222,47 @@ class StorageFormatPlanner:
         formats = [
             SFPlan(
                 fidelity=fid,
-                coding=cheapest_adequate_coding(self.profiler, fid, demands),
+                coding=self._cheapest_adequate_coding(fid, demands),
                 demands=demands,
             )
             for fid, demands in by_cf.items()
         ]
         golden_fid = knobwise_max([d.fidelity for d in decisions])
-        golden_coding = cheapest_adequate_coding(self.profiler, golden_fid, [])
+        golden_coding = self._cheapest_adequate_coding(golden_fid, [])
         formats.append(SFPlan(golden_fid, golden_coding, demands=[], golden=True))
         return formats
+
+    # -- memoized adequacy ------------------------------------------------------------
+
+    def _demand_adequate(self, fmt: StorageFormat, demand: Demand) -> bool:
+        """Memoized R2 verdict for one (format, demand) pair.
+
+        A cache hit is a format examination that reused profiled results;
+        it is tallied in ``stats.adequacy_hits``, separate from the
+        profiler's own ``memo_hits`` (see :class:`CodingProfilerStats`).
+        """
+        key = (fmt, demand)
+        verdict = self._adequacy.get(key)
+        if verdict is None:
+            speed = self.profiler.retrieval_speed(
+                fmt, demand.cf_fidelity.sampling
+            )
+            verdict = speed >= demand.required_speed - _EPS
+            self._adequacy[key] = verdict
+        else:
+            self.profiler.stats.adequacy_hits += 1
+        return verdict
+
+    def _adequate(self, fmt: StorageFormat, demands: Sequence[Demand]) -> bool:
+        return all(self._demand_adequate(fmt, d) for d in demands)
+
+    def _cheapest_adequate_coding(
+        self, fidelity: Fidelity, demands: Sequence[Demand]
+    ) -> Coding:
+        for coding in _storage_rank(self.profiler, fidelity):
+            if self._adequate(StorageFormat(fidelity, coding), demands):
+                return coding
+        return RAW
 
     # -- cost accounting --------------------------------------------------------------
 
@@ -185,13 +278,20 @@ class StorageFormatPlanner:
     def ingest_cost(self, formats: Sequence[SFPlan]) -> float:
         return sum(self.sf_ingest(sf) for sf in formats)
 
+    def _within_budget(self, formats: Sequence[SFPlan]) -> bool:
+        """The ingestion-budget check of :meth:`IngestBudget.allows`, fed
+        from memoized profiles instead of fresh codec-surface calls."""
+        if self.budget.cores is None:
+            return True
+        return self.ingest_cost(formats) <= self.budget.cores + _EPS
+
     # -- pair coalescing ---------------------------------------------------------------
 
     def coalesce_pair(self, a: SFPlan, b: SFPlan) -> SFPlan:
         """Merge two storage formats (Section 4.3's three-effect move)."""
         fidelity = knobwise_max([a.fidelity, b.fidelity])
         demands = list(a.demands) + list(b.demands)
-        coding = cheapest_adequate_coding(self.profiler, fidelity, demands)
+        coding = self._cheapest_adequate_coding(fidelity, demands)
         return SFPlan(fidelity, coding, demands, golden=a.golden or b.golden)
 
     def _merge_is_safe(self, merged: SFPlan, parents: Sequence[SFPlan]) -> bool:
@@ -199,57 +299,61 @@ class StorageFormatPlanner:
         that had it before (some ultra-fast consumers are retrieval-bound
         even on raw frames; those may stay retrieval-bound, but an adequate
         consumer must remain adequate)."""
+        merged_fmt = merged.fmt
         for parent in parents:
+            parent_fmt = parent.fmt
             for demand in parent.demands:
-                had = coding_is_adequate(self.profiler, parent.fmt, [demand])
-                if had and not coding_is_adequate(
-                    self.profiler, merged.fmt, [demand]
-                ):
+                had = self._demand_adequate(parent_fmt, demand)
+                if had and not self._demand_adequate(merged_fmt, demand):
                     return False
         return True
 
+    def _evaluate_bump(
+        self, sf: SFPlan
+    ) -> Optional[Tuple[float, float, SFPlan]]:
+        """Score one format's step to the next-faster coding option."""
+        if sf.coding.raw:
+            return None
+        step_idx = sf.coding.speed_idx
+        if step_idx + 1 >= len(SPEED_STEPS):
+            return None
+        faster = Coding(
+            speed_step=SPEED_STEPS[step_idx + 1],
+            keyframe_interval=sf.coding.keyframe_interval,
+        )
+        bumped = replace(sf, coding=faster)
+        if not self._adequate(bumped.fmt, bumped.demands):
+            return None
+        d_sto = self.sf_storage(bumped) - self.sf_storage(sf)
+        d_ing = self.sf_ingest(bumped) - self.sf_ingest(sf)
+        if d_ing >= -_EPS:
+            return None
+        return d_sto, d_ing, bumped
+
     def _pair_moves(
-        self, formats: List[SFPlan]
+        self, formats: List[SFPlan], cache: Optional[_MoveCache] = None
     ) -> Iterator[Tuple[float, float, int, int, SFPlan]]:
         """All safe pairwise merges as (d_storage, d_ingest, i, j, merged)."""
+        cache = cache or _MoveCache(self)
         for i in range(len(formats)):
             for j in range(i + 1, len(formats)):
-                merged = self.coalesce_pair(formats[i], formats[j])
-                if not self._merge_is_safe(merged, (formats[i], formats[j])):
+                move = cache.pair_move(formats[i], formats[j])
+                if move is None:
                     continue
-                d_sto = (
-                    self.sf_storage(merged)
-                    - self.sf_storage(formats[i])
-                    - self.sf_storage(formats[j])
-                )
-                d_ing = (
-                    self.sf_ingest(merged)
-                    - self.sf_ingest(formats[i])
-                    - self.sf_ingest(formats[j])
-                )
+                d_sto, d_ing, merged = move
                 yield d_sto, d_ing, i, j, merged
 
     def _coding_bump_moves(
-        self, formats: List[SFPlan]
+        self, formats: List[SFPlan], cache: Optional[_MoveCache] = None
     ) -> Iterator[Tuple[float, float, int, SFPlan]]:
         """Per-format steps to a faster (cheaper-encode) coding option."""
+        cache = cache or _MoveCache(self)
         for i, sf in enumerate(formats):
-            if sf.coding.raw:
+            move = cache.bump_move(sf)
+            if move is None:
                 continue
-            step_idx = sf.coding.speed_idx
-            if step_idx + 1 >= len(SPEED_STEPS):
-                continue
-            faster = Coding(
-                speed_step=SPEED_STEPS[step_idx + 1],
-                keyframe_interval=sf.coding.keyframe_interval,
-            )
-            bumped = replace(sf, coding=faster)
-            if not coding_is_adequate(self.profiler, bumped.fmt, bumped.demands):
-                continue
-            d_sto = self.sf_storage(bumped) - self.sf_storage(sf)
-            d_ing = self.sf_ingest(bumped) - self.sf_ingest(sf)
-            if d_ing < -_EPS:
-                yield d_sto, d_ing, i, bumped
+            d_sto, d_ing, bumped = move
+            yield d_sto, d_ing, i, bumped
 
     # -- heuristic-based selection --------------------------------------------------------
 
@@ -260,11 +364,12 @@ class StorageFormatPlanner:
         ingest until the budget is met."""
         formats = self.initial_formats(decisions)
         rounds = 0
+        cache = _MoveCache(self)
 
         # Phase 1: harvest free merges (no storage increase, less ingest).
         while True:
             best = None
-            for d_sto, d_ing, i, j, merged in self._pair_moves(formats):
+            for d_sto, d_ing, i, j, merged in self._pair_moves(formats, cache):
                 if d_sto > _EPS or d_ing > -_EPS:
                     continue
                 key = (d_ing, d_sto)  # most ingest saved, then most storage
@@ -278,16 +383,17 @@ class StorageFormatPlanner:
             rounds += 1
 
         # Phase 2: trade storage for ingest until under budget.
-        while not self.budget.allows([sf.fmt for sf in formats],
-                                     self.profiler.codec):
+        while not self._within_budget(formats):
             best = None  # (storage paid per core saved, apply-closure)
-            for d_sto, d_ing, i, j, merged in self._pair_moves(formats):
+            for d_sto, d_ing, i, j, merged in self._pair_moves(formats, cache):
                 if d_ing > -_EPS:
                     continue
                 price = d_sto / -d_ing
                 if best is None or price < best[0]:
                     best = (price, ("merge", i, j, merged))
-            for d_sto, d_ing, i, bumped in self._coding_bump_moves(formats):
+            for d_sto, d_ing, i, bumped in self._coding_bump_moves(
+                formats, cache
+            ):
                 price = d_sto / -d_ing
                 if best is None or price < best[0]:
                     best = (price, ("bump", i, None, bumped))
@@ -333,11 +439,30 @@ class StorageFormatPlanner:
         knob space each round, ignoring resource impacts."""
         formats = self.initial_formats(decisions)
         rounds = 0
+        vectors: Dict[Fidelity, np.ndarray] = {}
+        distances: Dict[Tuple[Fidelity, Fidelity], float] = {}
+
+        def vector(fidelity: Fidelity) -> np.ndarray:
+            vec = vectors.get(fidelity)
+            if vec is None:
+                vec = self._knob_vector(fidelity)
+                vectors[fidelity] = vec
+            return vec
+
+        def distance(a: SFPlan, b: SFPlan) -> float:
+            # Distance depends only on the fidelity pair, so a merged format
+            # reuses every distance its fidelity was already scored at.
+            key = (a.fidelity, b.fidelity)
+            dist = distances.get(key)
+            if dist is None:
+                dist = float(np.linalg.norm(
+                    vector(a.fidelity) - vector(b.fidelity)
+                ))
+                distances[key] = dist
+            return dist
 
         def done() -> bool:
-            under_budget = self.budget.allows(
-                [sf.fmt for sf in formats], self.profiler.codec
-            )
+            under_budget = self._within_budget(formats)
             at_target = target_count is None or len(formats) <= target_count
             return under_budget and at_target
 
@@ -345,10 +470,7 @@ class StorageFormatPlanner:
             best = None
             for i in range(len(formats)):
                 for j in range(i + 1, len(formats)):
-                    dist = float(np.linalg.norm(
-                        self._knob_vector(formats[i].fidelity)
-                        - self._knob_vector(formats[j].fidelity)
-                    ))
+                    dist = distance(formats[i], formats[j])
                     if best is None or dist < best[0]:
                         best = (dist, i, j)
             _, i, j = best
@@ -367,10 +489,21 @@ class StorageFormatPlanner:
     # -- exhaustive enumeration (validation baseline, Section 6.4) -------------------------------
 
     def exhaustive(
-        self, decisions: Sequence[ConsumptionDecision], max_cfs: int = 10
+        self, decisions: Sequence[ConsumptionDecision], max_cfs: int = 12
     ) -> CoalescePlan:
         """Score every set partition of the CFs; minimize storage cost, then
-        ingest cost, subject to the ingestion budget."""
+        ingest cost, subject to the ingestion budget.
+
+        Partitions are enumerated iteratively (restricted growth strings)
+        and every block — a subset of CFs — is profiled once: its merged
+        fidelity, adequate coding, storage and ingest costs are memoized
+        across the Bell-number many partitions that share it, so the loop
+        body reduces to summing cached floats.  Fresh :class:`SFPlan`
+        objects are built only for the winning partition.  Scoring is
+        enumeration-order independent except for exact score ties, where
+        the first partition visited wins (the legacy recursive enumerator
+        visited partitions in a different order).
+        """
         by_cf: Dict[Fidelity, List[Demand]] = {}
         for d in decisions:
             by_cf.setdefault(d.fidelity, []).append(
@@ -384,51 +517,91 @@ class StorageFormatPlanner:
             )
         golden_fid = knobwise_max([d.fidelity for d in decisions])
 
-        best: Optional[Tuple[Tuple[float, float], List[SFPlan]]] = None
         # Reference adequacy: what each CF's own dedicated SF can deliver.
         own_adequate: Dict[Fidelity, bool] = {}
         for fid, demands in cfs:
-            coding = cheapest_adequate_coding(self.profiler, fid, demands)
-            own_adequate[fid] = coding_is_adequate(
-                self.profiler, StorageFormat(fid, coding), demands
+            coding = self._cheapest_adequate_coding(fid, demands)
+            own_adequate[fid] = self._adequate(
+                StorageFormat(fid, coding), demands
             )
 
-        for partition in _set_partitions(list(range(len(cfs)))):
-            formats = []
-            feasible = True
-            for block in partition:
-                fidelity = knobwise_max([cfs[k][0] for k in block])
-                demands = [dem for k in block for dem in cfs[k][1]]
-                coding = cheapest_adequate_coding(self.profiler, fidelity, demands)
-                sf = SFPlan(fidelity, coding, demands)
-                for k in block:
-                    if own_adequate[cfs[k][0]] and not coding_is_adequate(
-                        self.profiler, sf.fmt, cfs[k][1]
-                    ):
-                        feasible = False
-                        break
-                if not feasible:
+        # Block memo: CF-index subset -> (fidelity, coding, storage, ingest)
+        # for feasible blocks, or None for infeasible ones.
+        block_memo: Dict[Tuple[int, ...], Optional[tuple]] = {}
+
+        def block_info(key: Tuple[int, ...]) -> Optional[tuple]:
+            if key in block_memo:
+                return block_memo[key]
+            fidelity = knobwise_max([cfs[k][0] for k in key])
+            demands = [dem for k in key for dem in cfs[k][1]]
+            coding = self._cheapest_adequate_coding(fidelity, demands)
+            fmt = StorageFormat(fidelity, coding)
+            info: Optional[tuple] = None
+            if all(
+                not own_adequate[cfs[k][0]] or self._adequate(fmt, cfs[k][1])
+                for k in key
+            ):
+                profile = self.profiler.profile(fmt)
+                info = (
+                    fidelity, coding,
+                    profile.bytes_per_second, profile.ingest_cost,
+                )
+            block_memo[key] = info
+            return info
+
+        golden_costs: Optional[Tuple[Coding, float, float]] = None
+
+        def golden_info() -> Tuple[Coding, float, float]:
+            nonlocal golden_costs
+            if golden_costs is None:
+                coding = self._cheapest_adequate_coding(golden_fid, [])
+                profile = self.profiler.profile(
+                    StorageFormat(golden_fid, coding)
+                )
+                golden_costs = (
+                    coding, profile.bytes_per_second, profile.ingest_cost
+                )
+            return golden_costs
+
+        best: Optional[tuple] = None  # (score, blocks, infos, has_golden)
+        for blocks in _index_partitions(len(cfs)):
+            infos = []
+            for block in blocks:
+                info = block_info(tuple(block))
+                if info is None:
                     break
-                formats.append(sf)
-            if not feasible:
-                continue
-            golden = next(
-                (sf for sf in formats if sf.fidelity == golden_fid), None
-            )
-            if golden is None:
-                coding = cheapest_adequate_coding(self.profiler, golden_fid, [])
-                formats.append(SFPlan(golden_fid, coding, [], golden=True))
+                infos.append(info)
             else:
-                golden.golden = True
-            if not self.budget.allows([sf.fmt for sf in formats],
-                                      self.profiler.codec):
-                continue
-            score = (self.storage_cost(formats), self.ingest_cost(formats))
-            if best is None or score < best[0]:
-                best = (score, formats)
+                has_golden = any(info[0] == golden_fid for info in infos)
+                storage = sum(info[2] for info in infos)
+                ingest = sum(info[3] for info in infos)
+                if not has_golden:
+                    _, g_storage, g_ingest = golden_info()
+                    storage += g_storage
+                    ingest += g_ingest
+                if (self.budget.cores is not None
+                        and ingest > self.budget.cores + _EPS):
+                    continue
+                score = (storage, ingest)
+                if best is None or score < best[0]:
+                    best = (score, [list(b) for b in blocks], infos,
+                            has_golden)
         if best is None:
             raise BudgetError("no partition satisfies the ingestion budget")
-        formats = best[1]
+
+        # Materialize fresh SFPlans for the winning partition only; the
+        # first block at the golden fidelity (if any) becomes the golden SF.
+        _, blocks, infos, has_golden = best
+        formats: List[SFPlan] = []
+        golden_marked = False
+        for block, (fidelity, coding, _, _) in zip(blocks, infos):
+            demands = [dem for k in block for dem in cfs[k][1]]
+            is_golden = not golden_marked and fidelity == golden_fid
+            golden_marked = golden_marked or is_golden
+            formats.append(SFPlan(fidelity, coding, demands, golden=is_golden))
+        if not has_golden:
+            coding, _, _ = golden_info()
+            formats.append(SFPlan(golden_fid, coding, [], golden=True))
         return CoalescePlan(
             formats=formats,
             storage_bytes_per_second=self.storage_cost(formats),
@@ -436,13 +609,33 @@ class StorageFormatPlanner:
         )
 
 
-def _set_partitions(items: List[int]) -> Iterator[List[List[int]]]:
-    """All set partitions of ``items`` (Bell-number many)."""
-    if not items:
+def _index_partitions(n: int) -> Iterator[List[List[int]]]:
+    """All set partitions of range(n), via iterative restricted-growth-string
+    enumeration (no recursion, no per-partition allocation beyond blocks)."""
+    if n == 0:
         yield []
         return
-    first, rest = items[0], items[1:]
-    for partition in _set_partitions(rest):
-        for i in range(len(partition)):
-            yield partition[:i] + [[first] + partition[i]] + partition[i + 1:]
-        yield [[first]] + partition
+    a = [0] * n  # a[i] = block number of item i; a restricted growth string
+    m = [0] * n  # m[i] = max(a[:i + 1])
+    while True:
+        blocks: List[List[int]] = [[] for _ in range(m[n - 1] + 1)]
+        for i, b in enumerate(a):
+            blocks[b].append(i)
+        yield blocks
+        i = n - 1
+        while i > 0 and a[i] == m[i - 1] + 1:
+            i -= 1
+        if i == 0:
+            return
+        a[i] += 1
+        if a[i] > m[i]:
+            m[i] = a[i]
+        for j in range(i + 1, n):
+            a[j] = 0
+            m[j] = m[i]
+
+
+def _set_partitions(items: List[int]) -> Iterator[List[List[int]]]:
+    """All set partitions of ``items`` (Bell-number many)."""
+    for blocks in _index_partitions(len(items)):
+        yield [[items[i] for i in block] for block in blocks]

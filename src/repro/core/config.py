@@ -97,6 +97,42 @@ class Configuration:
         return cf_knobs + sf_knobs
 
 
+def resolve_profile_datasets(
+    profile_datasets: Optional[Mapping[str, str]] = None,
+) -> Dict[str, str]:
+    """The operator -> profiling-dataset assignment actually in effect."""
+    return dict(profile_datasets if profile_datasets is not None
+                else DEFAULT_PROFILE_DATASETS)
+
+
+def build_operator_profilers(
+    library: OperatorLibrary,
+    consumers: Sequence[Consumer],
+    profile_datasets: Optional[Mapping[str, str]] = None,
+    clock: Optional[SimClock] = None,
+    profilers: Optional[Dict[str, OperatorProfiler]] = None,
+) -> Dict[str, OperatorProfiler]:
+    """Operator profilers for every dataset the consumers profile on.
+
+    Extends (and returns) ``profilers`` in place when given, so sweeps can
+    thread one shared profiler set through every sweep point instead of
+    re-profiling per point.
+    """
+    datasets = resolve_profile_datasets(profile_datasets)
+    if profilers is None:
+        profilers = {}
+    for consumer in consumers:
+        dataset = datasets.get(consumer.operator)
+        if dataset is None:
+            raise ConfigurationError(
+                f"no profiling dataset assigned for operator "
+                f"{consumer.operator!r}"
+            )
+        if dataset not in profilers:
+            profilers[dataset] = OperatorProfiler(library, dataset, clock=clock)
+    return profilers
+
+
 def derive_configuration(
     library: OperatorLibrary,
     consumers: Optional[Sequence[Consumer]] = None,
@@ -123,17 +159,9 @@ def derive_configuration(
         profile_datasets = DEFAULT_PROFILE_DATASETS
     datasets = dict(profile_datasets)
 
-    if profilers is None:
-        profilers = {}
-    for consumer in consumers:
-        dataset = datasets.get(consumer.operator)
-        if dataset is None:
-            raise ConfigurationError(
-                f"no profiling dataset assigned for operator "
-                f"{consumer.operator!r}"
-            )
-        if dataset not in profilers:
-            profilers[dataset] = OperatorProfiler(library, dataset, clock=clock)
+    profilers = build_operator_profilers(
+        library, consumers, datasets, clock, profilers
+    )
 
     # Step 1 (Section 4.2): consumption formats.
     decisions: List[ConsumptionDecision] = []
@@ -143,7 +171,7 @@ def derive_configuration(
 
     # Step 2 (Section 4.3): storage formats.
     if coding_profiler is None:
-        activity = _mean_profile_activity(profilers)
+        activity = mean_profile_activity(profilers)
         coding_profiler = CodingProfiler(activity=activity, clock=clock)
     planner = StorageFormatPlanner(coding_profiler, ingest_budget)
     plan = planner.heuristic_coalesce(decisions)
@@ -174,7 +202,7 @@ def derive_configuration(
     )
 
 
-def _mean_profile_activity(profilers: Mapping[str, OperatorProfiler]) -> float:
+def mean_profile_activity(profilers: Mapping[str, OperatorProfiler]) -> float:
     """Mean content activity across profiling clips (size-model input)."""
     activities = [p.clip.mean_activity() for p in profilers.values()]
     return sum(activities) / len(activities) if activities else 0.35
