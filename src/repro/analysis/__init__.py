@@ -1,5 +1,12 @@
 """Analysis helpers: the Focus comparison model and table formatting."""
 
+from repro.analysis.concurrency import (
+    ConcurrencyReport,
+    QueryLatencyRow,
+    concurrency_report,
+    format_concurrency_table,
+    jain_index,
+)
 from repro.analysis.focus import FocusComparison
 from repro.analysis.sweeps import (
     budget_sweep_series,
@@ -17,7 +24,12 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "ConcurrencyReport",
     "FocusComparison",
+    "QueryLatencyRow",
+    "concurrency_report",
+    "format_concurrency_table",
+    "jain_index",
     "budget_sweep_series",
     "erosion_series",
     "keyframe_series",

@@ -33,6 +33,19 @@ class SimClock:
         self.by_category[category] = self.by_category.get(category, 0.0) + seconds
         return self.now
 
+    def advance_to(self, t: float, category: str = "other") -> float:
+        """Advance the clock to absolute simulated time ``t``.
+
+        Charges the difference to ``category``; a ``t`` at or before the
+        current time is a no-op (concurrent completions may land on the
+        same instant).  Used by the concurrent executor, whose events carry
+        absolute completion times rather than durations.
+        """
+        delta = t - self.now
+        if delta > 0:
+            self.charge(delta, category)
+        return self.now
+
     def spent(self, category: str) -> float:
         """Total simulated seconds charged to ``category`` so far."""
         return self.by_category.get(category, 0.0)

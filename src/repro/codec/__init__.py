@@ -12,7 +12,7 @@ reports (Figure 3, Table 3):
 """
 
 from repro.codec.chunks import decoded_frame_count, decoded_frame_fraction, gop_layout
-from repro.codec.decoder import Decoder
+from repro.codec.decoder import Decoder, DecoderPool
 from repro.codec.encoder import EncodedSegment, Encoder
 from repro.codec.model import CodecModel, DEFAULT_CODEC, SURFACE_CALLS
 from repro.codec.tables import (
@@ -25,6 +25,7 @@ __all__ = [
     "CodecModel",
     "DEFAULT_CODEC",
     "Decoder",
+    "DecoderPool",
     "EncodedSegment",
     "Encoder",
     "ProfileTable",

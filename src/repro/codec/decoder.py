@@ -31,6 +31,23 @@ class DecodedFrames:
     seconds: float  # video time covered
 
 
+@dataclass(frozen=True)
+class DecoderPool:
+    """A bounded set of hardware decoder contexts (NVDEC sessions).
+
+    The paper's decode path runs on a GPU decoder with a fixed number of
+    concurrent sessions.  The concurrent query executor admits at most
+    ``contexts`` segment decodes at once; queries needing the decoder
+    beyond that wait, modeling multi-tenant decode contention.
+    """
+
+    contexts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.contexts < 1:
+            raise CodecError(f"need at least one decoder context: {self.contexts}")
+
+
 class Decoder:
     """A decoder instance (NVDEC in the paper)."""
 

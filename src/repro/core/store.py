@@ -17,7 +17,10 @@ the subpackages, but the facade covers the common paths.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.query.scheduler import ConcurrentExecutor, QueryOutcome
 
 from repro.clock import SimClock
 from repro.core.config import (
@@ -101,27 +104,46 @@ class VStore:
 
     # -- ingestion ------------------------------------------------------------------
 
-    def _pipeline(self, dataset: str) -> IngestionPipeline:
-        if dataset not in self._pipelines:
-            self._pipelines[dataset] = IngestionPipeline(
+    def _pipeline(self, dataset: str,
+                  stream: Optional[str] = None) -> IngestionPipeline:
+        key = stream or dataset
+        if key not in self._pipelines:
+            self._pipelines[key] = IngestionPipeline(
                 dataset,
                 self.configuration.storage_formats,
                 store=self.segments,
                 clock=self.clock,
                 budget=self.ingest_budget,
+                stream=stream,
             )
-        return self._pipelines[dataset]
+        pipeline = self._pipelines[key]
+        if pipeline.dataset != dataset:
+            # One stream has one content model; silently reusing the cached
+            # pipeline would ingest the wrong dataset's statistics.
+            raise ConfigurationError(
+                f"stream {key!r} already ingests dataset "
+                f"{pipeline.dataset!r}, not {dataset!r}"
+            )
+        return pipeline
 
     def ingest(self, dataset: str, n_segments: int,
-               start_index: int = 0) -> None:
-        """Transcode and store ``n_segments`` of a stream in every SF."""
+               start_index: int = 0, stream: Optional[str] = None) -> None:
+        """Transcode and store ``n_segments`` of a stream in every SF.
+
+        ``stream`` stores the segments under an alias (defaults to the
+        dataset name), so one content model can back many fleet cameras.
+        """
         if self.segments is None:
             raise ConfigurationError("ingestion requires a workdir-backed store")
-        self._pipeline(dataset).ingest_segments(n_segments, start_index)
+        self._pipeline(dataset, stream).ingest_segments(n_segments, start_index)
 
-    def ingestion_report(self, dataset: str) -> IngestionReport:
-        """Analytic per-stream storage and transcode cost (Figure 11b/c)."""
-        return self._pipeline(dataset).report()
+    def ingestion_report(self, dataset: str,
+                         stream: Optional[str] = None) -> IngestionReport:
+        """Analytic per-stream storage and transcode cost (Figure 11b/c).
+
+        For an aliased stream, pass the same ``stream`` used at ingest.
+        """
+        return self._pipeline(dataset, stream).report()
 
     # -- queries ------------------------------------------------------------------------
 
@@ -143,6 +165,45 @@ class VStore:
         return self.engine(dataset).execute(
             cascade_for(query), accuracy, self.segments, t0, t1
         )
+
+    # -- concurrent queries ---------------------------------------------------------
+
+    def executor(self, **kwargs) -> "ConcurrentExecutor":
+        """A fresh concurrent executor over this store's segments.
+
+        Keyword arguments (``policy``, ``disk_pool``, ``decoder_pool``,
+        ``operator_pool``, ``clock``) pass through to
+        :class:`~repro.query.scheduler.ConcurrentExecutor`; pools left
+        unset are uncontended.
+        """
+        from repro.query.scheduler import ConcurrentExecutor
+
+        if self.segments is None:
+            raise QueryError("concurrent execution requires a workdir-backed store")
+        return ConcurrentExecutor(
+            self.configuration, self.library, self.segments, **kwargs
+        )
+
+    def execute_many(self, specs, **kwargs) -> List["QueryOutcome"]:
+        """Admit and run many queries at once against shared resources.
+
+        Each spec is a mapping with ``query`` ("A"/"B" or a cascade),
+        ``dataset``, ``accuracy``, ``t0``, ``t1``, plus the optional
+        ``stream``, ``contexts`` and ``deadline`` admission knobs.
+        Remaining keyword arguments configure the executor (see
+        :meth:`executor`); outcomes come back in admission order.
+        """
+        executor = self.executor(**kwargs)
+        for spec in specs:
+            spec = dict(spec)
+            query = spec.pop("query")
+            if isinstance(query, str):
+                query = cascade_for(query)
+            executor.admit(
+                query, spec.pop("dataset"), spec.pop("accuracy"),
+                spec.pop("t0"), spec.pop("t1"), **spec
+            )
+        return executor.run()
 
     # -- aging ----------------------------------------------------------------------------
 

@@ -24,6 +24,12 @@ def cores_required(
     )
 
 
+#: Float tolerance for budget comparisons: a format set within this many
+#: cores of the cap counts as exactly on budget.  ``allows`` and
+#: ``headroom`` share it, so a set is allowed iff its headroom is >= 0.
+CORE_TOLERANCE = 1e-9
+
+
 @dataclass(frozen=True)
 class IngestBudget:
     """A cap on transcoding cores per ingested stream (None = unlimited)."""
@@ -33,13 +39,18 @@ class IngestBudget:
     def allows(self, formats: Iterable[StorageFormat],
                codec: CodecModel = DEFAULT_CODEC) -> bool:
         """Whether the format set can be sustained within the budget."""
-        if self.cores is None:
-            return True
-        return cores_required(formats, codec) <= self.cores + 1e-9
+        return self.headroom(formats, codec) >= 0.0
 
     def headroom(self, formats: Iterable[StorageFormat],
                  codec: CodecModel = DEFAULT_CODEC) -> float:
-        """Remaining cores (negative when over budget; inf when unlimited)."""
+        """Remaining cores (negative when over budget; inf when unlimited).
+
+        Overruns within :data:`CORE_TOLERANCE` clamp to 0.0 so an allowed
+        format set never reports negative headroom.
+        """
         if self.cores is None:
             return float("inf")
-        return self.cores - cores_required(formats, codec)
+        room = self.cores - cores_required(formats, codec)
+        if -CORE_TOLERANCE <= room < 0.0:
+            return 0.0
+        return room

@@ -52,8 +52,17 @@ class IngestionPipeline:
         codec: CodecModel = DEFAULT_CODEC,
         clock: Optional[SimClock] = None,
         budget: IngestBudget = IngestBudget(),
+        stream: Optional[str] = None,
     ):
         self.dataset = dataset
+        #: Stream name segments are stored under.  Defaults to the dataset
+        #: name; an alias lets one content model stand in for many cameras
+        #: of a fleet ("cam07" ingested with jackson's statistics).
+        self.stream = stream or dataset
+        if "/" in self.stream:
+            # Segment-store keys are "/"-structured; a "/" in the stream
+            # name would leak this stream into other streams' prefix scans.
+            raise ValueError(f"stream name must not contain '/': {self.stream!r}")
         self.content: ContentModel = get_dataset(dataset).content()
         self.formats = list(formats)
         self.store = store
@@ -86,7 +95,7 @@ class IngestionPipeline:
             raise ValueError("ingest_segments requires a SegmentStore")
         done = []
         for i in range(start_index, start_index + n_segments):
-            segment = Segment(self.dataset, i)
+            segment = Segment(self.stream, i)
             activity = self.segment_activity(segment)
             for encoded in self.transcoder.transcode(segment, activity, materialize):
                 self.store.put(encoded)
@@ -107,7 +116,7 @@ class IngestionPipeline:
         total = sum(per_format.values())
         cores = self.transcoder.cores_required
         return IngestionReport(
-            stream=self.dataset,
+            stream=self.stream,
             bytes_per_second=total,
             bytes_per_day=total * DAY,
             cores_required=cores,

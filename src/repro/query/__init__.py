@@ -17,14 +17,41 @@ from repro.query.alternatives import (
 )
 from repro.query.cascade import QUERY_A, QUERY_B, QueryCascade
 from repro.query.engine import ExecutionResult, QueryEngine, QueryReport, StageReport
-from repro.query.scheduler import DispatchResult, dispatch
+from repro.query.scheduler import (
+    ConcurrentExecutor,
+    DeadlinePolicy,
+    DispatchResult,
+    ExecutorStats,
+    FIFOPolicy,
+    FairSharePolicy,
+    OperatorContextPool,
+    QueryOutcome,
+    QueryPlan,
+    QuerySession,
+    ResourceTask,
+    SchedulingPolicy,
+    StagePlan,
+    dispatch,
+)
 
 __all__ = [
     "AlternativeScheme",
+    "ConcurrentExecutor",
+    "DeadlinePolicy",
     "QUERY_A",
     "QUERY_B",
     "QueryCascade",
     "DispatchResult",
+    "ExecutorStats",
+    "FIFOPolicy",
+    "FairSharePolicy",
+    "OperatorContextPool",
+    "QueryOutcome",
+    "QueryPlan",
+    "QuerySession",
+    "ResourceTask",
+    "SchedulingPolicy",
+    "StagePlan",
     "dispatch",
     "ExecutionResult",
     "QueryEngine",

@@ -191,6 +191,99 @@ class QueryEngine:
 
     # -- actual execution ----------------------------------------------------------------
 
+    def plan(
+        self,
+        query: QueryCascade,
+        accuracy: float,
+        store: SegmentStore,
+        t0: float,
+        t1: float,
+        *,
+        stream: Optional[str] = None,
+        scheme: Optional[AlternativeScheme] = None,
+        contexts: int = 1,
+    ) -> "QueryPlan":
+        """Plan a query's full task chain without charging any clock.
+
+        Stage i+1 only touches segments in which stage i produced at least
+        one positive frame — the cascade structure of Figure 2 at segment
+        granularity.  Operator outputs are seeded per segment, so the plan
+        is independent of how its tasks are later scheduled.  ``stream``
+        lets one content model (this engine's dataset) stand in for footage
+        ingested under another stream name (a camera fleet).
+        """
+        from repro.query.scheduler import (
+            QueryPlan,
+            ResourceTask,
+            StagePlan,
+            dispatch,
+        )
+
+        if t1 <= t0:
+            raise QueryError(f"empty query range [{t0}, {t1})")
+        stream = stream or self.dataset
+        scheme = scheme or vstore_scheme(self.config)
+        active = list(segments_for_range(stream, t0, t1))
+        stages: List[StagePlan] = []
+
+        for name in query:
+            op = self.library.get(name)
+            consumer = Consumer(name, accuracy)
+            fidelity = scheme.consumption_fidelity(consumer)
+            fmt = scheme.storage_format(consumer)
+            reader = SegmentReader(store, fmt, fidelity, self.codec)
+            tasks: List[ResourceTask] = []
+            survivors = []
+            n_pos = 0
+            consume_costs = []
+            for segment in active:
+                retrieved = reader.assess(stream, segment.index)
+                clip = self._content.clip(segment.t0, segment.seconds)
+                consume_costs.append(
+                    op.cost_per_frame(fidelity) * retrieved.n_frames
+                )
+                rng = rng_for("query", name, self.dataset, segment.index,
+                              fidelity.label)
+                output = op.run(clip, fidelity, rng)
+                hits = int(np.asarray(output).sum())
+                if hits > 0:
+                    survivors.append(segment)
+                    n_pos += hits
+                tasks.append(ResourceTask(
+                    kind="retrieve",
+                    resource="disk" if fmt.is_raw else "decoder",
+                    units=1,
+                    duration=retrieved.retrieval_seconds,
+                    category=reader.category,
+                    operator=name,
+                ))
+            # A stage with fewer segments than contexts can never load the
+            # extra contexts (least-loaded dispatch leaves them idle), so
+            # only hold as many pool units as can actually do work.
+            tasks.append(ResourceTask(
+                kind="consume",
+                resource="operators",
+                units=max(1, min(contexts, len(consume_costs))),
+                duration=dispatch(consume_costs, contexts).makespan,
+                category="consume",
+                operator=name,
+            ))
+            stages.append(StagePlan(
+                operator=name,
+                tasks=tuple(tasks),
+                touched=len(active),
+                positives=n_pos,
+            ))
+            active = survivors
+
+        return QueryPlan(
+            label=query.label,
+            dataset=self.dataset,
+            stream=stream,
+            video_seconds=t1 - t0,
+            stages=tuple(stages),
+        )
+
     def execute(
         self,
         query: QueryCascade,
@@ -201,14 +294,60 @@ class QueryEngine:
         scheme: Optional[AlternativeScheme] = None,
         clock: Optional[SimClock] = None,
         contexts: int = 1,
+        stream: Optional[str] = None,
     ) -> ExecutionResult:
         """Stream segments through retrieval into stochastic operator runs.
 
-        Stage i+1 only touches segments in which stage i produced at least
-        one positive frame — the cascade structure of Figure 2 at segment
-        granularity.  ``contexts`` > 1 scales consumption the way the
-        paper's Section-5 scheduler does: segments are dispatched across
-        that many operator contexts and the stage pays the makespan.
+        This is the degenerate (N=1, uncontended) case of the concurrent
+        executor: the query's task chain runs serially with no other query
+        competing for the disk, decoder or operator pools, charging the
+        same costs in the same order as the sequential data path of
+        Figure 1.  ``contexts`` > 1 scales consumption the way the paper's
+        Section-5 scheduler does: segments are dispatched across that many
+        operator contexts and the stage pays the makespan.
+        """
+        from repro.query.scheduler import ConcurrentExecutor
+
+        clock = clock or SimClock()
+        executor = ConcurrentExecutor(
+            self.config,
+            self.library,
+            store,
+            codec=self.codec,
+            clock=clock,
+            engines={self.dataset: self},
+        )
+        executor.admit(query, self.dataset, accuracy, t0, t1,
+                       stream=stream, scheme=scheme, contexts=contexts)
+        outcome = executor.run()[0]
+
+        video_seconds = t1 - t0
+        compute = clock.now
+        return ExecutionResult(
+            query=query.label,
+            dataset=self.dataset,
+            video_seconds=video_seconds,
+            compute_seconds=compute,
+            speed=float("inf") if compute <= 0 else video_seconds / compute,
+            positives_per_stage=outcome.result.positives_per_stage,
+            segments_per_stage=outcome.result.segments_per_stage,
+        )
+
+    def _execute_sequential(
+        self,
+        query: QueryCascade,
+        accuracy: float,
+        store: SegmentStore,
+        t0: float,
+        t1: float,
+        scheme: Optional[AlternativeScheme] = None,
+        clock: Optional[SimClock] = None,
+        contexts: int = 1,
+    ) -> ExecutionResult:
+        """Reference implementation: the original single-query loop.
+
+        Kept verbatim so tests can assert that :meth:`execute` — now the
+        N=1 case of the concurrent executor — reproduces it bit-identically.
         """
         from repro.query.scheduler import dispatch
 

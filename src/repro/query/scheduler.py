@@ -1,18 +1,52 @@
-"""Operator-context scheduler (Section 5).
+"""Concurrent query scheduling (Section 5, generalized to multi-tenancy).
 
-The paper scales the CPU-bound OpenALPR operators by running multiple
-contexts and dispatching video segments across them.  This module provides
-that dispatcher: greedy least-loaded assignment of per-segment costs onto
-``n_contexts`` workers, returning the simulated makespan (the wall time of
-the slowest context).
+Two layers live here:
+
+* the paper's *operator-context dispatcher*: greedy least-loaded assignment
+  of per-segment costs onto ``n_contexts`` workers within one stage
+  (:func:`dispatch`), returning the simulated makespan;
+* the *concurrent query executor*: N cascade queries over M streams admitted
+  into one :class:`ConcurrentExecutor`, which interleaves their segment
+  retrievals and operator runs on shared resources — a disk I/O channel
+  pool (:class:`~repro.storage.disk.DiskBandwidthPool`), a bounded decoder
+  pool (:class:`~repro.codec.decoder.DecoderPool`) and a shared operator
+  context pool (:class:`OperatorContextPool`) — under a pluggable
+  scheduling policy (FIFO, fair share, earliest deadline first), charging
+  everything to one :class:`~repro.clock.SimClock`.
+
+The executor is a discrete-event simulation.  Each admitted query plans a
+*serial* task chain (its cascade structure: retrieve each active segment,
+then run the stage's operators); concurrency and slowdown come from queries
+contending for the bounded pools.  With a single query and uncontended
+pools the event loop degenerates to charging each task's duration in
+order, which is exactly what the sequential ``QueryEngine.execute`` used to
+do — N=1 results are bit-identical by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.clock import SimClock
+from repro.codec.decoder import DecoderPool
+from repro.codec.model import CodecModel, DEFAULT_CODEC
 from repro.errors import QueryError
+from repro.storage.disk import DiskBandwidthPool
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import Configuration
+    from repro.operators.library import OperatorLibrary
+    from repro.query.alternatives import AlternativeScheme
+    from repro.query.cascade import QueryCascade
+    from repro.query.engine import ExecutionResult, QueryEngine
+    from repro.storage.segment_store import SegmentStore
+
+
+# ---------------------------------------------------------------------------
+# The paper's per-stage operator-context dispatcher
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -30,9 +64,13 @@ class DispatchResult:
 
     @property
     def speedup(self) -> float:
-        """Achieved parallel speedup over a single context."""
+        """Achieved parallel speedup over a single context.
+
+        With no work (``makespan <= 0``) there is nothing to parallelize,
+        so the speedup is 1.0 — not ``n_contexts``.
+        """
         if self.makespan <= 0:
-            return float(self.n_contexts)
+            return 1.0
         return self.total_work / self.makespan
 
     @property
@@ -65,3 +103,482 @@ def dispatch(segment_costs: Sequence[float], n_contexts: int) -> DispatchResult:
         loads=loads,
         assignment=assignment,
     )
+
+
+# ---------------------------------------------------------------------------
+# Shared resources and query plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatorContextPool:
+    """A shared pool of operator contexts across all concurrent queries.
+
+    A stage consume acquires as many contexts as its query was admitted
+    with (gang scheduling); queries wanting more contexts than are free
+    wait, which is where multi-tenant CPU contention comes from.
+    """
+
+    contexts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.contexts < 1:
+            raise QueryError(f"need at least one operator context: {self.contexts}")
+
+
+#: Resource names the executor schedules on.
+RESOURCES: Tuple[str, ...] = ("disk", "decoder", "operators")
+
+
+@dataclass(frozen=True)
+class ResourceTask:
+    """One schedulable unit of a query's serial task chain."""
+
+    kind: str  # "retrieve" | "consume"
+    resource: str  # one of RESOURCES
+    units: int  # pool units held while running
+    duration: float  # simulated seconds of service
+    category: str  # SimClock category ("disk" | "decode" | "consume")
+    operator: str  # cascade stage this task belongs to
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One cascade stage: its retrievals, its consume, its outcome."""
+
+    operator: str
+    tasks: Tuple[ResourceTask, ...]  # retrievals in segment order, then consume
+    touched: int  # segments this stage scanned
+    positives: int  # positive frames it produced
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The full, timing-independent task chain of one query.
+
+    Operator outputs are deterministic (seeded per segment), so which
+    segments survive each stage does not depend on scheduling — the chain
+    can be planned up front and then purely scheduled.
+    """
+
+    label: str
+    dataset: str
+    stream: str
+    video_seconds: float
+    stages: Tuple[StagePlan, ...]
+
+    @property
+    def tasks(self) -> List[ResourceTask]:
+        return [t for stage in self.stages for t in stage.tasks]
+
+    @property
+    def service_seconds(self) -> float:
+        """Serial time of the chain — the query's uncontended latency."""
+        return sum(t.duration for t in self.tasks)
+
+    @property
+    def positives_per_stage(self) -> Dict[str, int]:
+        return {s.operator: s.positives for s in self.stages}
+
+    @property
+    def segments_per_stage(self) -> Dict[str, int]:
+        return {s.operator: s.touched for s in self.stages}
+
+
+# ---------------------------------------------------------------------------
+# Scheduling policies
+# ---------------------------------------------------------------------------
+
+
+class SchedulingPolicy:
+    """Orders waiting tasks when a shared resource frees up.
+
+    ``priority`` returns a sort key; the executor grants the fitting
+    waiting task with the smallest key.  Tasks that do not fit the free
+    capacity are skipped (backfilling), so small retrievals may overtake a
+    gang-sized consume that is still waiting for enough contexts.
+    """
+
+    name = "policy"
+
+    def priority(self, session: "QuerySession", task: "ResourceTask",
+                 seq: int) -> Tuple:
+        raise NotImplementedError
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Grant in arrival order: first task enqueued is first served."""
+
+    name = "fifo"
+
+    def priority(self, session: "QuerySession", task: "ResourceTask",
+                 seq: int) -> Tuple:
+        return (seq,)
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Least attained service: grant the query that has received the least
+    time on the contended resource so far (max-min fair sharing per
+    resource, so a light query is not starved behind heavy backlogs)."""
+
+    name = "fair"
+
+    def priority(self, session: "QuerySession", task: "ResourceTask",
+                 seq: int) -> Tuple:
+        return (session.service_by_resource.get(task.resource, 0.0), seq)
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest deadline first; deadline-less queries yield to dated ones."""
+
+    name = "edf"
+
+    def priority(self, session: "QuerySession", task: "ResourceTask",
+                 seq: int) -> Tuple:
+        deadline = session.deadline
+        return (deadline if deadline is not None else math.inf, seq)
+
+
+# ---------------------------------------------------------------------------
+# Sessions, outcomes, executor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QuerySession:
+    """One admitted query: its spec, plan, and runtime accounting."""
+
+    qid: int
+    query: "QueryCascade"
+    dataset: str
+    stream: str
+    accuracy: float
+    t0: float
+    t1: float
+    contexts: int
+    deadline: Optional[float]
+    plan: QueryPlan
+    admitted_at: float
+    finished_at: Optional[float] = None
+    waited_seconds: float = 0.0  # time spent queued for busy resources
+    service_by_resource: Dict[str, float] = field(default_factory=dict)
+    _cursor: int = 0  # index of the next task in the plan
+
+    @property
+    def label(self) -> str:
+        return f"q{self.qid}:{self.query.name}@{self.stream}"
+
+    @property
+    def service_seconds(self) -> float:
+        return sum(self.service_by_resource.values())
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.admitted_at
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Per-query result of a concurrent run."""
+
+    session: QuerySession
+    result: "ExecutionResult"
+
+    @property
+    def latency(self) -> float:
+        return self.session.finished_at - self.session.admitted_at
+
+    @property
+    def service_seconds(self) -> float:
+        """Busy time of the query's own tasks (= its uncontended latency)."""
+        return self.session.plan.service_seconds
+
+    @property
+    def waited_seconds(self) -> float:
+        return self.session.waited_seconds
+
+    @property
+    def slowdown(self) -> float:
+        """Contention-induced slowdown over running the query alone."""
+        service = self.service_seconds
+        return self.latency / service if service > 0 else 1.0
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        if self.session.deadline is None:
+            return None
+        return self.session.finished_at <= self.session.deadline
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """Aggregate resource accounting of one concurrent run."""
+
+    policy: str
+    n_queries: int
+    makespan: float  # simulated wall time of the whole run
+    capacities: Dict[str, Optional[int]]  # None = uncontended
+    busy_seconds: Dict[str, float]  # unit-seconds of service per resource
+
+    def utilization(self, resource: str) -> Optional[float]:
+        """Busy fraction of a bounded pool over the run (None if unbounded)."""
+        capacity = self.capacities.get(resource)
+        if capacity is None or self.makespan <= 0:
+            return None
+        return self.busy_seconds.get(resource, 0.0) / (capacity * self.makespan)
+
+
+@dataclass
+class _Pool:
+    name: str
+    capacity: Optional[int]  # None = unbounded (no contention)
+    in_use: int = 0
+    busy_seconds: float = 0.0
+
+    def fits(self, units: int) -> bool:
+        return self.capacity is None or self.in_use + units <= self.capacity
+
+    def clamp(self, units: int) -> int:
+        return units if self.capacity is None else min(units, self.capacity)
+
+
+@dataclass
+class _Waiting:
+    session: QuerySession
+    task: ResourceTask
+    seq: int
+    since: float
+
+
+@dataclass
+class _Running:
+    session: QuerySession
+    task: ResourceTask
+    start: float
+    end: float
+    seq: int
+
+
+class ConcurrentExecutor:
+    """Admits N cascade queries and interleaves them on shared resources.
+
+    Usage::
+
+        ex = ConcurrentExecutor(config, library, store,
+                                decoder_pool=DecoderPool(2),
+                                policy=FairSharePolicy())
+        ex.admit(QUERY_B, "dashcam", 0.9, 0.0, 64.0)
+        ex.admit(QUERY_A, "jackson", 0.8, 0.0, 32.0)
+        outcomes = ex.run()
+
+    Pools left as ``None`` are uncontended (infinite capacity), which makes
+    a single admitted query reproduce the sequential engine bit-identically.
+    """
+
+    def __init__(
+        self,
+        config: "Configuration",
+        library: "OperatorLibrary",
+        store: "SegmentStore",
+        *,
+        policy: Optional[SchedulingPolicy] = None,
+        disk_pool: Optional[DiskBandwidthPool] = None,
+        decoder_pool: Optional[DecoderPool] = None,
+        operator_pool: Optional[OperatorContextPool] = None,
+        codec: CodecModel = DEFAULT_CODEC,
+        clock: Optional[SimClock] = None,
+        engines: Optional[Dict[str, "QueryEngine"]] = None,
+    ):
+        self.config = config
+        self.library = library
+        self.store = store
+        self.codec = codec
+        self.policy = policy or FIFOPolicy()
+        self.clock = clock or SimClock()
+        self._pools: Dict[str, _Pool] = {
+            "disk": _Pool("disk", disk_pool.channels if disk_pool else None),
+            "decoder": _Pool(
+                "decoder", decoder_pool.contexts if decoder_pool else None
+            ),
+            "operators": _Pool(
+                "operators", operator_pool.contexts if operator_pool else None
+            ),
+        }
+        self._engines: Dict[str, "QueryEngine"] = dict(engines or {})
+        self._sessions: List[QuerySession] = []
+        self._started_at: float = self.clock.now
+        self._ran = False
+
+    # -- admission ---------------------------------------------------------
+
+    def _engine(self, dataset: str) -> "QueryEngine":
+        if dataset not in self._engines:
+            from repro.query.engine import QueryEngine
+
+            self._engines[dataset] = QueryEngine(
+                self.config, self.library, dataset, codec=self.codec
+            )
+        return self._engines[dataset]
+
+    def admit(
+        self,
+        query: "QueryCascade",
+        dataset: str,
+        accuracy: float,
+        t0: float,
+        t1: float,
+        *,
+        stream: Optional[str] = None,
+        scheme: Optional["AlternativeScheme"] = None,
+        contexts: int = 1,
+        deadline: Optional[float] = None,
+    ) -> QuerySession:
+        """Admit one query; its task chain is planned immediately."""
+        if self._ran:
+            raise QueryError("executor already ran; create a new one")
+        if contexts <= 0:
+            raise QueryError(f"need at least one context: {contexts}")
+        # A gang larger than the shared pool can never be granted; clamp so
+        # the stage dispatch and the resource request agree.
+        effective_contexts = self._pools["operators"].clamp(contexts)
+        plan = self._engine(dataset).plan(
+            query,
+            accuracy,
+            self.store,
+            t0,
+            t1,
+            stream=stream,
+            scheme=scheme,
+            contexts=effective_contexts,
+        )
+        session = QuerySession(
+            qid=len(self._sessions),
+            query=query,
+            dataset=dataset,
+            stream=plan.stream,
+            accuracy=accuracy,
+            t0=t0,
+            t1=t1,
+            contexts=effective_contexts,
+            deadline=deadline,
+            plan=plan,
+            admitted_at=self.clock.now,
+        )
+        self._sessions.append(session)
+        return session
+
+    @property
+    def sessions(self) -> List[QuerySession]:
+        return list(self._sessions)
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self) -> List[QueryOutcome]:
+        """Run all admitted queries to completion; returns them in admit order."""
+        if self._ran:
+            raise QueryError("executor already ran; create a new one")
+        self._ran = True
+        self._started_at = self.clock.now
+
+        waiting: List[_Waiting] = []
+        running: List[_Running] = []
+        seq = 0
+        # plan.tasks flattens the stage chains on every access; materialize
+        # each chain once so the loop stays linear in the task count.
+        chains = {s.qid: s.plan.tasks for s in self._sessions}
+
+        def submit_next(session: QuerySession) -> None:
+            nonlocal seq
+            tasks = chains[session.qid]
+            if session._cursor >= len(tasks):
+                session.finished_at = self.clock.now
+                return
+            task = tasks[session._cursor]
+            session._cursor += 1
+            waiting.append(_Waiting(session, task, seq, self.clock.now))
+            seq += 1
+
+        def grant() -> None:
+            nonlocal seq
+            while True:
+                fitting = [
+                    w for w in waiting if self._pools[w.task.resource].fits(w.task.units)
+                ]
+                if not fitting:
+                    return
+                w = min(
+                    fitting,
+                    key=lambda w: (
+                        self.policy.priority(w.session, w.task, w.seq),
+                        w.seq,
+                    ),
+                )
+                waiting.remove(w)
+                pool = self._pools[w.task.resource]
+                pool.in_use += w.task.units
+                now = self.clock.now
+                w.session.waited_seconds += now - w.since
+                running.append(
+                    _Running(w.session, w.task, now, now + w.task.duration, seq)
+                )
+                seq += 1
+
+        for session in self._sessions:
+            submit_next(session)
+        grant()
+
+        while running:
+            done = min(running, key=lambda r: (r.end, r.seq))
+            # When the completing task started at the current instant (always
+            # true for a lone query), charge its exact duration so the N=1
+            # path accumulates the same floats as sequential execution.
+            if self.clock.now == done.start:
+                self.clock.charge(done.task.duration, done.task.category)
+            else:
+                self.clock.advance_to(done.end, done.task.category)
+            running.remove(done)
+            pool = self._pools[done.task.resource]
+            pool.in_use -= done.task.units
+            pool.busy_seconds += done.task.units * done.task.duration
+            service = done.session.service_by_resource
+            service[done.task.resource] = (
+                service.get(done.task.resource, 0.0) + done.task.duration
+            )
+            submit_next(done.session)
+            grant()
+
+        if waiting:  # pragma: no cover - guarded by admission-time clamping
+            raise QueryError("deadlock: waiting tasks but nothing running")
+        return [self._outcome(s) for s in self._sessions]
+
+    def _outcome(self, session: QuerySession) -> QueryOutcome:
+        from repro.query.engine import ExecutionResult
+
+        latency = session.finished_at - session.admitted_at
+        video = session.plan.video_seconds
+        return QueryOutcome(
+            session=session,
+            result=ExecutionResult(
+                query=session.plan.label,
+                dataset=session.dataset,
+                video_seconds=video,
+                compute_seconds=latency,
+                speed=float("inf") if latency <= 0 else video / latency,
+                positives_per_stage=session.plan.positives_per_stage,
+                segments_per_stage=session.plan.segments_per_stage,
+            ),
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> ExecutorStats:
+        """Aggregate resource accounting (meaningful after :meth:`run`)."""
+        return ExecutorStats(
+            policy=self.policy.name,
+            n_queries=len(self._sessions),
+            makespan=self.clock.now - self._started_at,
+            capacities={name: p.capacity for name, p in self._pools.items()},
+            busy_seconds={name: p.busy_seconds for name, p in self._pools.items()},
+        )

@@ -55,8 +55,18 @@ class SegmentReader:
         self.clock = clock or SimClock()
         self.disk: DiskModel = store.disk
 
-    def read(self, stream: str, index: int) -> RetrievedClip:
-        """Retrieve one segment, charging decode or disk time."""
+    @property
+    def category(self) -> str:
+        """Clock category this reader's retrievals charge to."""
+        return "disk" if self.fmt.is_raw else "decode"
+
+    def assess(self, stream: str, index: int) -> RetrievedClip:
+        """Compute one segment's retrieval outcome without charging time.
+
+        The concurrent executor plans retrieval tasks with this and charges
+        the clock itself when the simulated disk/decoder actually serves
+        them; :meth:`read` is ``assess`` plus an immediate charge.
+        """
         stride = self.codec.consumer_stride(
             self.fmt.fidelity, self.consumer_fidelity.sampling
         )
@@ -74,7 +84,6 @@ class SegmentReader:
             sparse = (consumed * frame_bytes / self.disk.read_bandwidth
                       + consumed * self.disk.request_overhead)
             seconds = min(scan, sparse)
-            self.clock.charge(seconds, "disk")
             return RetrievedClip(
                 stored=meta,
                 consumer_fidelity=self.consumer_fidelity,
@@ -89,13 +98,18 @@ class SegmentReader:
         seconds = n_decoded * self.codec.decode_frame_seconds(
             self.fmt.fidelity, self.fmt.coding
         )
-        self.clock.charge(seconds, "decode")
         return RetrievedClip(
             stored=meta,
             consumer_fidelity=self.consumer_fidelity,
             n_frames=consumed,
             retrieval_seconds=seconds,
         )
+
+    def read(self, stream: str, index: int) -> RetrievedClip:
+        """Retrieve one segment, charging decode or disk time."""
+        retrieved = self.assess(stream, index)
+        self.clock.charge(retrieved.retrieval_seconds, self.category)
+        return retrieved
 
     def read_range(self, stream: str, indices: List[int]) -> Iterator[RetrievedClip]:
         """Stream a list of segments in order."""

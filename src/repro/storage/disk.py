@@ -79,5 +79,23 @@ class DiskModel:
         return 1.0 / seconds if seconds > 0 else float("inf")
 
 
+@dataclass(frozen=True)
+class DiskBandwidthPool:
+    """A bounded number of concurrent I/O channels over one disk array.
+
+    The paper's HDD array sustains its sequential bandwidth over a small
+    number of parallel streams; beyond that, requests queue.  The
+    concurrent query executor models this by letting at most ``channels``
+    raw-segment retrievals be in flight at once — further retrievals wait,
+    which is where multi-tenant disk contention comes from.
+    """
+
+    channels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"need at least one I/O channel: {self.channels}")
+
+
 #: Disk model shared by default (the paper's HDD RAID class of hardware).
 DEFAULT_DISK = DiskModel()

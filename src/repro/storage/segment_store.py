@@ -11,8 +11,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+from urllib.parse import quote, unquote
 
 from repro.codec.encoder import EncodedSegment
+from repro.errors import StorageError
 from repro.storage.disk import DiskModel, DEFAULT_DISK
 from repro.storage.kvstore import KVStore
 from repro.video.coding import Coding
@@ -41,15 +43,39 @@ class StoredSegment:
         return Segment(self.stream, self.index, self.seconds)
 
 
+# Keys are "/"-structured, the two format labels are " "-joined, and label
+# text is arbitrary (sampling fractions contain "/"; future knob values may
+# contain spaces or "|"), so label characters that collide with the key
+# structure are percent-escaped with the stdlib codec, which roundtrips
+# any label exactly.
+
+
+def _escape_label(text: str) -> str:
+    return quote(text, safe="")
+
+
+def _unescape_label(text: str) -> str:
+    return unquote(text)
+
+
 def _fmt_key(fmt: StorageFormat) -> str:
-    return fmt.label.replace("/", "|")
+    return (f"{_escape_label(fmt.fidelity.label)} "
+            f"{_escape_label(fmt.coding.label)}")
 
 
 def _parse_fmt(text: str) -> StorageFormat:
-    fidelity_label, _, coding_label = text.replace("|", "/").rpartition(" ")
+    if "|" in text:
+        # Legacy stores encoded "/" as a literal "|" (the current encoding
+        # never emits one — it escapes to %7C), so such keys can only come
+        # from a store written before percent-escaping.  They are parsed
+        # here and rewritten once at store open (_migrate_legacy_keys).
+        text = text.replace("|", "%2F")
+    fidelity_text, sep, coding_text = text.rpartition(" ")
+    if not sep:
+        raise StorageError(f"malformed format key: {text!r}")
     return StorageFormat(
-        fidelity=Fidelity.parse(fidelity_label),
-        coding=Coding.parse(coding_label),
+        fidelity=Fidelity.parse(_unescape_label(fidelity_text)),
+        coding=Coding.parse(_unescape_label(coding_text)),
     )
 
 
@@ -61,7 +87,25 @@ class SegmentStore:
         self.disk = disk
         self._footprint: Dict[Tuple[str, str], int] = {}
         self._count: Dict[Tuple[str, str], int] = {}
+        self._migrate_legacy_keys()
         self._load_footprints()
+
+    def _migrate_legacy_keys(self) -> None:
+        """Rewrite keys from stores written before percent-escaping.
+
+        The old encoding stored "/" in format labels as a literal "|";
+        the current one never emits "|", so any key containing it in the
+        format part is unambiguously legacy.  Rewriting once at open keeps
+        every lookup (meta/get/contains/indices/delete/...) working on old
+        stores without per-access compatibility paths.
+        """
+        legacy = [key for key in list(self.kv.keys())
+                  if "|" in self._split_key(key)[1]]
+        for key in legacy:
+            stream, fmt_text, index = self._split_key(key)
+            new_key = self._key(stream, _parse_fmt(fmt_text), index)
+            self.kv.put(new_key, self.kv.get(key))
+            self.kv.delete(key)
 
     def _load_footprints(self) -> None:
         for key in self.kv.keys():

@@ -28,6 +28,24 @@ def test_default_category():
     assert clock.spent("other") == 1.0
 
 
+def test_advance_to_charges_the_difference():
+    clock = SimClock()
+    clock.charge(1.0, "decode")
+    clock.advance_to(3.5, "wait")
+    assert clock.now == pytest.approx(3.5)
+    assert clock.spent("wait") == pytest.approx(2.5)
+
+
+def test_advance_to_the_past_is_a_noop():
+    clock = SimClock()
+    clock.charge(2.0, "decode")
+    clock.advance_to(1.0, "wait")
+    assert clock.now == pytest.approx(2.0)
+    assert clock.spent("wait") == 0.0
+    clock.advance_to(2.0, "wait")  # same instant: also a no-op
+    assert clock.spent("wait") == 0.0
+
+
 def test_reset():
     clock = SimClock()
     clock.charge(3.0, "x")

@@ -38,6 +38,28 @@ class TestBudget:
         assert not IngestBudget(0.1).allows(FORMATS)
         assert IngestBudget(0.1).headroom(FORMATS) < 0
 
+    def test_allows_and_headroom_agree_at_the_boundary(self):
+        """Regression: ``allows`` used a 1e-9 tolerance that ``headroom``
+        lacked, so a set could be allowed yet report negative headroom."""
+        required = cores_required(FORMATS)
+        # exactly on budget
+        exact = IngestBudget(required)
+        assert exact.allows(FORMATS)
+        assert exact.headroom(FORMATS) >= 0.0
+        # over budget by less than the tolerance: allowed, zero headroom
+        within = IngestBudget(required - 5e-10)
+        assert within.allows(FORMATS)
+        assert within.headroom(FORMATS) == 0.0
+        # over budget beyond the tolerance: rejected, negative headroom
+        beyond = IngestBudget(required - 1e-6)
+        assert not beyond.allows(FORMATS)
+        assert beyond.headroom(FORMATS) < 0.0
+
+    @pytest.mark.parametrize("cores", [0.1, 1.0, 2.5, 100.0, None])
+    def test_allows_iff_headroom_nonnegative(self, cores):
+        budget = IngestBudget(cores)
+        assert budget.allows(FORMATS) == (budget.headroom(FORMATS) >= 0.0)
+
 
 class TestTranscoder:
     def test_fan_out_one_segment_per_format(self):

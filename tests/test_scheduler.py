@@ -34,6 +34,14 @@ def test_empty_stream():
     assert result.total_work == 0.0
 
 
+def test_no_work_claims_no_speedup():
+    """Regression: zero-cost dispatches used to report an n_contexts-x
+    speedup; with no work there is nothing to parallelize."""
+    assert dispatch([], 3).speedup == 1.0
+    assert dispatch([0.0, 0.0, 0.0], 4).speedup == 1.0
+    assert dispatch([0.0], 1).speedup == 1.0
+
+
 def test_invalid_inputs():
     with pytest.raises(QueryError):
         dispatch([1.0], 0)
@@ -62,6 +70,26 @@ def test_more_contexts_never_slower(costs):
     makespans = [dispatch(costs, n).makespan for n in (1, 2, 4, 8)]
     for bigger, smaller in zip(makespans, makespans[1:]):
         assert smaller <= bigger + 1e-9
+
+
+@given(
+    costs=st.lists(st.floats(0.0, 100.0), max_size=60),
+    n=st.integers(1, 8),
+)
+def test_dispatch_fairness_invariants(costs, n):
+    """The greedy dispatcher's fairness contract over random costs: every
+    assignment goes to a least-loaded context, the utilization never
+    exceeds 1.0, and no work is lost or invented."""
+    result = dispatch(costs, n)
+    loads = [0.0] * n
+    for cost, idx in zip(costs, result.assignment):
+        assert loads[idx] == min(loads), (
+            f"segment assigned to context {idx} with load {loads[idx]}, "
+            f"but {min(loads)} was free"
+        )
+        loads[idx] += cost
+    assert result.utilization <= 1.0 + 1e-9
+    assert sum(result.loads) == pytest.approx(sum(costs), abs=1e-9)
 
 
 def test_engine_execution_scales_with_contexts(tmp_path):

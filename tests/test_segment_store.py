@@ -1,14 +1,22 @@
 """Segment store: per-format indexing and footprint accounting."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.clock import SimClock
 from repro.codec.encoder import Encoder
+from repro.errors import StorageError
 from repro.storage.disk import DiskModel
 from repro.storage.kvstore import KVStore
-from repro.storage.segment_store import SegmentStore
-from repro.video.coding import Coding, RAW
-from repro.video.fidelity import Fidelity
+from repro.storage.segment_store import (
+    SegmentStore,
+    _escape_label,
+    _fmt_key,
+    _parse_fmt,
+    _unescape_label,
+)
+from repro.video.coding import Coding, RAW, coding_space
+from repro.video.fidelity import Fidelity, fidelity_space
 from repro.video.format import StorageFormat
 from repro.video.segment import Segment
 
@@ -110,3 +118,88 @@ def test_overwrite_does_not_double_count(store):
     store.put(e)
     assert store.footprint("cam", FMT_A) == e.size_bytes
     assert store.segment_count("cam", FMT_A) == 1
+
+
+class TestFormatKeyRoundtrip:
+    """The _fmt_key/_parse_fmt encoding must roundtrip every format."""
+
+    def test_all_fidelity_coding_combinations_roundtrip(self):
+        """Property over the full space: 600 fidelities x 26 codings."""
+        codings = list(coding_space())
+        for fidelity in fidelity_space():
+            for coding in codings:
+                fmt = StorageFormat(fidelity, coding)
+                key = _fmt_key(fmt)
+                assert "/" not in key, key  # keys are "/"-structured
+                assert _parse_fmt(key) == fmt
+
+    @given(st.text(alphabet=st.sampled_from(" |/%-abc025"), max_size=30))
+    def test_escaping_roundtrips_hostile_labels(self, label):
+        """Labels containing spaces, '|', '/' or '%' roundtrip exactly."""
+        escaped = _escape_label(label)
+        assert "/" not in escaped
+        assert " " not in escaped
+        assert "|" not in escaped
+        assert _unescape_label(escaped) == label
+
+    @given(
+        a=st.text(alphabet=st.sampled_from(" |/%-ab1"), max_size=12),
+        b=st.text(alphabet=st.sampled_from(" |/%-ab1"), max_size=12),
+    )
+    def test_escaping_is_injective(self, a, b):
+        if a != b:
+            assert _escape_label(a) != _escape_label(b)
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(StorageError):
+            _parse_fmt("no-space-separator")
+
+    def test_legacy_pipe_encoded_keys_still_parse(self):
+        """Stores written before percent-escaping encoded '/' as '|'; the
+        current encoding never emits a literal '|', so such keys are
+        unambiguous and must keep reading."""
+        for fmt in (FMT_A, FMT_B,
+                    StorageFormat(Fidelity.parse("best-720p-1/2-75%"),
+                                  Coding("slowest", 250))):
+            legacy_key = fmt.label.replace("/", "|")
+            assert _parse_fmt(legacy_key) == fmt
+
+    def test_legacy_store_migrates_and_stays_fully_readable(self, tmp_path):
+        """Opening a store written with the old '|' key encoding rewrites
+        its keys once, so every lookup — not just format listing — works."""
+        import json
+
+        encoded = _encode(FMT_A, 3)
+        meta = {"size_bytes": encoded.size_bytes,
+                "n_frames": encoded.n_frames,
+                "activity": encoded.activity,
+                "seconds": encoded.segment.seconds,
+                "payload": False}
+        legacy_key = f"cam/{FMT_A.label.replace('/', '|')}/{3:012d}"
+        assert "|" in legacy_key  # FMT_A's sampling fraction contains '/'
+
+        path = str(tmp_path / "legacy.log")
+        kv = KVStore(path)
+        kv.put(legacy_key, json.dumps(meta).encode("utf-8") + b"\x00")
+        kv.close()
+
+        kv = KVStore(path)
+        store = SegmentStore(kv, DiskModel(clock=SimClock()))
+        assert all("|" not in key for key in kv.keys())
+        assert store.contains("cam", FMT_A, 3)
+        assert store.meta("cam", FMT_A, 3).size_bytes == encoded.size_bytes
+        assert store.indices("cam", FMT_A) == [3]
+        assert store.footprint("cam", FMT_A) == encoded.size_bytes
+        assert store.segment_count("cam", FMT_A) == 1
+        assert [f.label for f in store.formats("cam")] == [FMT_A.label]
+        assert store.delete("cam", FMT_A, 3)
+        kv.close()
+
+    def test_raw_and_sampled_formats_store_and_list(self, store):
+        """End to end through the store: a RAW format and a '/'-sampled
+        fidelity coexist and are listed back as the exact same formats."""
+        store.put(_encode(FMT_A, 0))
+        store.put(_encode(FMT_B, 0))
+        assert sorted(f.label for f in store.formats("cam")) == sorted(
+            [FMT_A.label, FMT_B.label]
+        )
