@@ -1,5 +1,10 @@
 """Analysis helpers: the Focus comparison model and table formatting."""
 
+from repro.analysis.cache import (
+    WarmColdComparison,
+    format_cache_table,
+    format_warm_cold_table,
+)
 from repro.analysis.concurrency import (
     ConcurrencyReport,
     QueryLatencyRow,
@@ -25,6 +30,9 @@ from repro.analysis.tables import (
 
 __all__ = [
     "ConcurrencyReport",
+    "WarmColdComparison",
+    "format_cache_table",
+    "format_warm_cold_table",
     "FocusComparison",
     "QueryLatencyRow",
     "concurrency_report",

@@ -1,0 +1,53 @@
+"""Tiered retrieval cache: decoded frames, operator results, hot tiers.
+
+See :mod:`repro.cache.plane` for the facade the rest of the system talks
+to; :class:`VStore(cache_config=...) <repro.core.store.VStore>` is the
+public entry point.
+"""
+
+from repro.cache.frames import (
+    ByteBudgetCache,
+    CacheEntry,
+    CacheError,
+    CostAwarePolicy,
+    DecodedFrameCache,
+    EvictionPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    POLICIES,
+    policy_named,
+)
+from repro.cache.plane import (
+    CacheConfig,
+    CachePlane,
+    CacheStats,
+    RetrievalAccess,
+    TierCounters,
+    TieringStats,
+)
+from repro.cache.results import ResultCache
+from repro.cache.tiers import FAST_TIER, StorageTier, TierConfig, TierManager
+
+__all__ = [
+    "ByteBudgetCache",
+    "CacheConfig",
+    "CacheEntry",
+    "CacheError",
+    "CachePlane",
+    "CacheStats",
+    "CostAwarePolicy",
+    "DecodedFrameCache",
+    "EvictionPolicy",
+    "FAST_TIER",
+    "LFUPolicy",
+    "LRUPolicy",
+    "POLICIES",
+    "ResultCache",
+    "RetrievalAccess",
+    "StorageTier",
+    "TierConfig",
+    "TierCounters",
+    "TieringStats",
+    "TierManager",
+    "policy_named",
+]

@@ -1,0 +1,279 @@
+"""Byte-budgeted caches and eviction policies; the decoded-frame tier.
+
+The retrieval cache keeps *decoded frames* in simulated RAM: a segment that
+was already streamed off disk (raw formats) or decoded (encoded formats)
+for one consumer can be handed to the next consumer of the same
+(stream, segment, storage format, consumer fidelity) at memory speed,
+skipping the :class:`~repro.storage.disk.DiskModel` read and the decode
+charge entirely.
+
+Capacity is a byte budget; when an insert does not fit, the configured
+:class:`EvictionPolicy` picks victims among the *unpinned* entries.  An
+entry is pinned while single-flight followers — concurrent queries that
+deduplicated onto another query's in-flight retrieval — still have to be
+served from it; pinned entries are never evicted (and never silently
+dropped by an insert that cannot fit: such an insert is rejected instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import VStoreError
+
+#: A cache key.  The first two elements are always ``(stream, index)`` so
+#: invalidation by segment needs no reverse index.
+CacheKey = Tuple
+
+
+class CacheError(VStoreError):
+    """A cache was configured or used inconsistently."""
+
+
+@dataclass
+class CacheEntry:
+    """One resident entry of a byte-budgeted cache."""
+
+    key: CacheKey
+    nbytes: float  # RAM the entry occupies
+    saved_seconds: float  # simulated seconds one hit avoids (disk + decode)
+    last_seq: int  # recency: access sequence number of the last touch
+    hits: int = 0
+    pins: int = 0  # single-flight waiters that must still be served
+
+    @property
+    def pinned(self) -> bool:
+        return self.pins > 0
+
+
+class EvictionPolicy:
+    """Orders unpinned entries for eviction (smallest key evicted first)."""
+
+    name = "policy"
+
+    def victim_key(self, entry: CacheEntry) -> Tuple:
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least recently used entry first."""
+
+    name = "lru"
+
+    def victim_key(self, entry: CacheEntry) -> Tuple:
+        return (entry.last_seq,)
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the least frequently used entry first (recency breaks ties)."""
+
+    name = "lfu"
+
+    def victim_key(self, entry: CacheEntry) -> Tuple:
+        return (entry.hits, entry.last_seq)
+
+
+class CostAwarePolicy(EvictionPolicy):
+    """Evict the entry with the least retrieval benefit per byte first.
+
+    Benefit weighs the bytes a hit keeps off the disk/decoder against the
+    decode+disk seconds it avoids: an entry's score is its per-hit seconds
+    saved, scaled by how often it actually hit, per byte of RAM it holds.
+    Recency breaks ties so the policy degrades to LRU on uniform costs.
+    """
+
+    name = "cost"
+
+    def victim_key(self, entry: CacheEntry) -> Tuple:
+        density = entry.saved_seconds * (1 + entry.hits) / max(entry.nbytes, 1.0)
+        return (density, entry.last_seq)
+
+
+#: Policy registry used by :func:`policy_named` and the CLI.
+POLICIES: Dict[str, Callable[[], EvictionPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    LFUPolicy.name: LFUPolicy,
+    CostAwarePolicy.name: CostAwarePolicy,
+}
+
+
+def policy_named(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by its registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise CacheError(
+            f"unknown eviction policy {name!r}; pick one of {sorted(POLICIES)}"
+        ) from None
+
+
+class ByteBudgetCache:
+    """A capacity-bounded cache of byte-sized entries with pluggable eviction.
+
+    Occupancy never exceeds ``capacity_bytes``: an insert evicts unpinned
+    entries in policy order until the new entry fits, and is *rejected*
+    (returns ``False``) when even evicting every unpinned entry would not
+    make room.  All counters needed for the operator-facing cache report
+    are maintained here.
+    """
+
+    def __init__(self, capacity_bytes: float, policy: EvictionPolicy):
+        if capacity_bytes < 0:
+            raise CacheError(f"negative cache capacity: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self._entries: Dict[CacheKey, CacheEntry] = {}
+        self._seq = 0
+        self.occupancy_bytes = 0.0
+        # counters
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejections = 0
+        self.invalidations = 0
+        self.bytes_saved = 0.0  # bytes hits kept off the disk/decoder
+        self.seconds_saved = 0.0  # simulated seconds hits avoided
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def entries(self) -> List[CacheEntry]:
+        return list(self._entries.values())
+
+    def peek(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Look an entry up without touching recency or counters."""
+        return self._entries.get(key)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Look ``key`` up, recording a hit (and its savings) or a miss."""
+        self._seq += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        entry.hits += 1
+        entry.last_seq = self._seq
+        self.hits += 1
+        self.bytes_saved += entry.nbytes
+        self.seconds_saved += entry.saved_seconds
+        return entry
+
+    def record_hit(self, key: CacheKey, nbytes: float,
+                   saved_seconds: float) -> None:
+        """Count a hit served in simulated time (touching the entry).
+
+        The read path decides hits at plan time but *serves* them later,
+        when the corresponding task completes on the simulated clock —
+        that is when the counters move.  The entry may legitimately have
+        been evicted or invalidated in between, so the savings are taken
+        from the access record rather than the entry.
+        """
+        self._seq += 1
+        self.hits += 1
+        self.bytes_saved += nbytes
+        self.seconds_saved += saved_seconds
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.hits += 1
+            entry.last_seq = self._seq
+            entry.saved_seconds = saved_seconds
+
+    def put(self, key: CacheKey, nbytes: float, saved_seconds: float,
+            pins: int = 0) -> bool:
+        """Insert (or refresh) an entry; returns whether it is resident."""
+        if nbytes < 0:
+            raise CacheError(f"negative entry size: {nbytes}")
+        self._seq += 1
+        existing = self._entries.get(key)
+        if existing is not None:
+            existing.saved_seconds = saved_seconds
+            existing.last_seq = self._seq
+            existing.pins += pins
+            return True
+        if not self._make_room(nbytes):
+            self.rejections += 1
+            return False
+        self._entries[key] = CacheEntry(
+            key=key, nbytes=nbytes, saved_seconds=saved_seconds,
+            last_seq=self._seq, pins=pins,
+        )
+        self.occupancy_bytes += nbytes
+        self.insertions += 1
+        return True
+
+    def _make_room(self, nbytes: float) -> bool:
+        if nbytes > self.capacity_bytes:
+            return False
+        if self.occupancy_bytes + nbytes <= self.capacity_bytes:
+            return True
+        unpinned = [e for e in self._entries.values() if not e.pinned]
+        evictable = sum(e.nbytes for e in unpinned)
+        if self.occupancy_bytes - evictable + nbytes > self.capacity_bytes:
+            # Even evicting every unpinned entry would not make room:
+            # reject without destroying the cache's useful contents.
+            return False
+        for victim in sorted(unpinned, key=self.policy.victim_key):
+            self._drop(victim.key)
+            self.evictions += 1
+            if self.occupancy_bytes + nbytes <= self.capacity_bytes:
+                return True
+        return True  # pragma: no cover - loop always reaches capacity
+
+    def _drop(self, key: CacheKey) -> None:
+        entry = self._entries.pop(key)
+        self.occupancy_bytes -= entry.nbytes
+
+    # -- pinning (single-flight) -------------------------------------------
+
+    def pin(self, key: CacheKey) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.pins += 1
+
+    def unpin(self, key: CacheKey) -> None:
+        entry = self._entries.get(key)
+        if entry is not None and entry.pins > 0:
+            entry.pins -= 1
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, stream: str, index: Optional[int] = None) -> int:
+        """Drop every entry of a segment (or a whole stream); returns count.
+
+        Invalidation overrides pinning: a re-ingested or eroded segment's
+        frames are stale for everyone, single-flight waiters included (the
+        waiter still completes — it simply stops counting as served from
+        this entry).
+        """
+        doomed = [
+            key for key in self._entries
+            if key[0] == stream and (index is None or key[1] == index)
+        ]
+        for key in doomed:
+            self._drop(key)
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+
+class DecodedFrameCache(ByteBudgetCache):
+    """The RAM tier holding decoded frames, keyed per consumer view.
+
+    Key: ``(stream, segment index, storage-format label, consumer-fidelity
+    label)`` — the same stored segment decoded for a sparser consumer is a
+    different (smaller) entry, exactly as a real frame cache would hold the
+    frames it actually materialized.
+    """
+
+    @staticmethod
+    def key(stream: str, index: int, fmt_label: str,
+            consumer_label: str) -> CacheKey:
+        return (stream, index, fmt_label, consumer_label)

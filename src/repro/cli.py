@@ -17,16 +17,40 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis.cache import format_cache_table
 from repro.analysis.focus import FocusComparison
 from repro.analysis.tables import (
     format_configuration_table,
     format_erosion_table,
 )
+from repro.cache import CacheConfig, POLICIES, TierConfig
 from repro.core.store import VStore
 from repro.ingest.budget import IngestBudget
 from repro.operators.library import TABLE2_ORDER, default_library
 from repro.units import DAY, TB, fmt_bytes
 from repro.video.datasets import DATASETS
+
+
+def _cache_config(args: argparse.Namespace) -> "CacheConfig | None":
+    cache_mb = getattr(args, "cache_mb", None)
+    if cache_mb is None:
+        # The other cache flags are meaningless without a budget; failing
+        # beats silently running uncached.
+        if getattr(args, "tiering", False):
+            raise SystemExit("--tiering requires --cache-mb")
+        if getattr(args, "cache_policy", None) is not None:
+            raise SystemExit("--cache-policy requires --cache-mb")
+        return None
+    if cache_mb <= 0:
+        raise SystemExit("--cache-mb must be positive")
+    from repro.units import MB
+
+    return CacheConfig(
+        frame_capacity_bytes=cache_mb * MB,
+        result_capacity_bytes=max(1.0, cache_mb / 4.0) * MB,
+        policy=getattr(args, "cache_policy", None) or "lru",
+        tiering=TierConfig() if getattr(args, "tiering", False) else None,
+    )
 
 
 def _build_store(args: argparse.Namespace) -> VStore:
@@ -42,6 +66,7 @@ def _build_store(args: argparse.Namespace) -> VStore:
         ingest_budget=budget,
         storage_budget_bytes=storage,
         lifespan_days=args.lifespan_days,
+        cache_config=_cache_config(args),
     )
 
 
@@ -106,15 +131,20 @@ def cmd_execute(args: argparse.Namespace) -> int:
     store = _build_store(args)
     with store:
         store.configure()
-        result = store.execute(args.query, dataset=args.dataset,
-                               accuracy=args.accuracy,
-                               t0=args.t0, t1=args.t1)
-        print(f"executed query {result.query} over "
-              f"{result.video_seconds:.0f}s of {args.dataset}: "
-              f"{result.speed:.1f}x realtime")
+        for run in range(max(1, args.repeat)):
+            result = store.execute(args.query, dataset=args.dataset,
+                                   accuracy=args.accuracy,
+                                   t0=args.t0, t1=args.t1)
+            tag = "" if args.repeat <= 1 else f" (run {run + 1})"
+            print(f"executed query {result.query} over "
+                  f"{result.video_seconds:.0f}s of {args.dataset}: "
+                  f"{result.speed:.1f}x realtime{tag}")
         for op, n in result.segments_per_stage.items():
             print(f"  {op:>8}: {n} segments, "
                   f"{result.positives_per_stage[op]} positives")
+        if store.cache is not None:
+            print()
+            print(format_cache_table(store.cache_stats()))
     return 0
 
 
@@ -169,6 +199,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--accuracy", type=float, default=0.9)
     p.add_argument("--t0", type=float, default=0.0)
     p.add_argument("--t1", type=float, default=64.0)
+    p.add_argument("--cache-mb", type=float, default=None,
+                   help="enable the tiered retrieval cache with this many "
+                        "MB of decoded-frame capacity")
+    p.add_argument("--cache-policy", choices=sorted(POLICIES), default=None,
+                   help="eviction policy of the cache tiers (default: lru; "
+                        "requires --cache-mb)")
+    p.add_argument("--tiering", action="store_true",
+                   help="enable hot-segment promotion to a fast disk tier")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="run the query this many times (shows warm-cache "
+                        "speedup with --cache-mb)")
     p.set_defaults(func=cmd_execute)
 
     p = sub.add_parser("datasets", help="list the benchmark streams")

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.cache.plane import CachePlane
 
 from repro.clock import SimClock
 from repro.codec.chunks import decoded_frame_count
@@ -49,12 +52,20 @@ class DecoderPool:
 
 
 class Decoder:
-    """A decoder instance (NVDEC in the paper)."""
+    """A decoder instance (NVDEC in the paper).
+
+    With a :class:`~repro.cache.plane.CachePlane` attached, a segment
+    already decoded for the same consumer fidelity is served from the
+    decoded-frame RAM tier: the decode charge is skipped and only the RAM
+    cost is paid (category ``"cache"``); misses populate the tier.
+    """
 
     def __init__(self, model: CodecModel = DEFAULT_CODEC,
-                 clock: Optional[SimClock] = None):
+                 clock: Optional[SimClock] = None,
+                 cache: Optional["CachePlane"] = None):
         self.model = model
         self.clock = clock or SimClock()
+        self.cache = cache
         self.frames_decoded = 0
 
     def decode(
@@ -81,8 +92,10 @@ class Decoder:
         )
         n_consumed = len(range(0, n_stored, stride))
         cost = n_decoded * self.model.decode_frame_seconds(fmt.fidelity, fmt.coding)
-        self.clock.charge(cost, "decode")
-        self.frames_decoded += n_decoded
+        if not self._serve_from_cache(encoded, consumer_fidelity,
+                                      n_consumed, cost):
+            self.clock.charge(cost, "decode")
+            self.frames_decoded += n_decoded
         return DecodedFrames(
             source=encoded,
             consumer_fidelity=consumer_fidelity,
@@ -90,6 +103,29 @@ class Decoder:
             n_decoded=n_decoded,
             seconds=encoded.segment.seconds,
         )
+
+    def _serve_from_cache(self, encoded: EncodedSegment,
+                          consumer_fidelity: Fidelity,
+                          n_consumed: int, full_cost: float) -> bool:
+        """Serve from the decoded-frame tier if possible; True on a hit."""
+        if self.cache is None:
+            return False
+        from repro.cache.plane import RetrievalAccess
+
+        segment = encoded.segment
+        nbytes = n_consumed * self.model.raw_frame_bytes(consumer_fidelity)
+        key = self.cache.frame_key(segment.stream, segment.index,
+                                   encoded.fmt.label, consumer_fidelity.label)
+        access = RetrievalAccess(
+            key=key,
+            hit=self.cache.frames.peek(key) is not None,
+            full_seconds=full_cost,
+            hit_seconds=self.cache.hit_seconds(nbytes),
+            nbytes=nbytes,
+            stored_bytes=float(encoded.size_bytes),
+            raw=False,  # decode-bound: builds no fast-tier heat
+        )
+        return self.cache.serve_retrieval(self.clock, access)
 
     def decode_speed(
         self, encoded: EncodedSegment,

@@ -22,13 +22,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.query.scheduler import ConcurrentExecutor, QueryOutcome
 
+from repro.cache.plane import CacheConfig, CachePlane, CacheStats
 from repro.clock import SimClock
 from repro.core.config import (
     Configuration,
     DEFAULT_PROFILE_DATASETS,
     derive_configuration,
 )
-from repro.errors import ConfigurationError, QueryError
+from repro.errors import ConfigurationError, QueryError, StorageError
 from repro.ingest.budget import IngestBudget
 from repro.ingest.pipeline import IngestionPipeline, IngestionReport
 from repro.operators.library import OperatorLibrary, default_library
@@ -51,6 +52,7 @@ class VStore:
         ingest_budget: IngestBudget = IngestBudget(),
         storage_budget_bytes: Optional[float] = None,
         lifespan_days: int = 10,
+        cache_config: Optional[CacheConfig] = None,
     ):
         self.library = library or default_library()
         self.profile_datasets = dict(profile_datasets or DEFAULT_PROFILE_DATASETS)
@@ -60,6 +62,13 @@ class VStore:
         self.clock = SimClock()
         self._config: Optional[Configuration] = None
         self._pipelines: Dict[str, IngestionPipeline] = {}
+        self._closed = False
+
+        # The tiered retrieval cache spans the whole store; passing any
+        # CacheConfig enables it (None keeps the uncached read path).
+        self.cache: Optional[CachePlane] = (
+            CachePlane(cache_config) if cache_config is not None else None
+        )
 
         self.workdir = workdir
         self.segments: Optional[SegmentStore] = None
@@ -68,12 +77,29 @@ class VStore:
             os.makedirs(workdir, exist_ok=True)
             self._kv = KVStore(os.path.join(workdir, "segments.vstore"))
             self.segments = SegmentStore(self._kv, DiskModel(clock=self.clock))
+            # Writes and deletes (re-ingest, erosion) invalidate the cache.
+            self.segments.cache = self.cache
 
     # -- lifecycle ---------------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Release the backing store.  Safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         if self._kv is not None:
             self._kv.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "this VStore is closed; create a new instance (close() "
+                "released the backing segment store)"
+            )
 
     def __enter__(self) -> "VStore":
         return self
@@ -133,6 +159,7 @@ class VStore:
         ``stream`` stores the segments under an alias (defaults to the
         dataset name), so one content model can back many fleet cameras.
         """
+        self._check_open()
         if self.segments is None:
             raise ConfigurationError("ingestion requires a workdir-backed store")
         self._pipeline(dataset, stream).ingest_segments(n_segments, start_index)
@@ -148,7 +175,9 @@ class VStore:
     # -- queries ------------------------------------------------------------------------
 
     def engine(self, dataset: str) -> QueryEngine:
-        return QueryEngine(self.configuration, self.library, dataset)
+        self._check_open()
+        return QueryEngine(self.configuration, self.library, dataset,
+                           cache=self.cache)
 
     def query(self, query: str, dataset: str, accuracy: float,
               duration: float) -> QueryReport:
@@ -160,6 +189,7 @@ class VStore:
     def execute(self, query: str, dataset: str, accuracy: float,
                 t0: float, t1: float) -> ExecutionResult:
         """Actually run a query over stored segments."""
+        self._check_open()
         if self.segments is None:
             raise QueryError("execution requires a workdir-backed store")
         return self.engine(dataset).execute(
@@ -178,8 +208,10 @@ class VStore:
         """
         from repro.query.scheduler import ConcurrentExecutor
 
+        self._check_open()
         if self.segments is None:
             raise QueryError("concurrent execution requires a workdir-backed store")
+        kwargs.setdefault("cache", self.cache)
         return ConcurrentExecutor(
             self.configuration, self.library, self.segments, **kwargs
         )
@@ -205,10 +237,38 @@ class VStore:
             )
         return executor.run()
 
+    # -- caching --------------------------------------------------------------------
+
+    def set_cache(self, cache_config: Optional[CacheConfig]) -> Optional[CachePlane]:
+        """Install a fresh cache plane (or disable caching) at runtime.
+
+        Lets an operator resize or re-policy the cache without reopening
+        the store; the previous plane's contents and counters are dropped.
+        """
+        self.cache = (
+            CachePlane(cache_config) if cache_config is not None else None
+        )
+        if self.segments is not None:
+            self.segments.cache = self.cache
+        return self.cache
+
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the tiered retrieval cache (hit rates, savings).
+
+        Requires the store to have been built with ``cache_config``.
+        """
+        if self.cache is None:
+            raise ConfigurationError(
+                "caching is disabled; construct the store with "
+                "VStore(cache_config=CacheConfig(...))"
+            )
+        return self.cache.stats()
+
     # -- aging ----------------------------------------------------------------------------
 
     def age(self, dataset: str, now_seconds: float) -> int:
         """Apply the erosion plan to stored footage; returns deletions."""
+        self._check_open()
         if self.segments is None:
             raise ConfigurationError("aging requires a workdir-backed store")
         config = self.configuration

@@ -9,9 +9,12 @@ to a simulated clock — the full data path of Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.cache.plane import CachePlane
 
 from repro.clock import SimClock
 from repro.codec.model import CodecModel, DEFAULT_CODEC
@@ -102,12 +105,14 @@ class QueryEngine:
         dataset: str,
         codec: CodecModel = DEFAULT_CODEC,
         disk: DiskModel = DEFAULT_DISK,
+        cache: Optional["CachePlane"] = None,
     ):
         self.config = config
         self.library = library
         self.dataset = dataset
         self.codec = codec
         self.disk = disk
+        self.cache = cache
         self._content = get_dataset(dataset).content()
         self._sample = self._content.clip(0.0, self.SELECTIVITY_SAMPLE)
 
@@ -231,39 +236,77 @@ class QueryEngine:
             consumer = Consumer(name, accuracy)
             fidelity = scheme.consumption_fidelity(consumer)
             fmt = scheme.storage_format(consumer)
-            reader = SegmentReader(store, fmt, fidelity, self.codec)
+            reader = SegmentReader(store, fmt, fidelity, self.codec,
+                                   cache=self.cache)
             tasks: List[ResourceTask] = []
             survivors = []
             n_pos = 0
-            consume_costs = []
+            consume_costs: List[float] = []
+            result_keys: List[Optional[tuple]] = []
+            result_nbytes: List[float] = []  # output bytes, for commits
+            result_hits: List[tuple] = []  # (key, saved seconds) per hit
             for segment in active:
-                retrieved = reader.assess(stream, segment.index)
+                retrieved, access = reader.assess_cached(stream, segment.index)
                 clip = self._content.clip(segment.t0, segment.seconds)
-                consume_costs.append(
-                    op.cost_per_frame(fidelity) * retrieved.n_frames
-                )
-                rng = rng_for("query", name, self.dataset, segment.index,
-                              fidelity.label)
-                output = op.run(clip, fidelity, rng)
+                rkey = None
+                if self.cache is not None:
+                    rkey = self.cache.result_key(
+                        stream, segment.index, self.dataset, name,
+                        fidelity.label, str(fidelity.sampling),
+                    )
+                output = self._stage_output(op, name, clip, fidelity,
+                                            segment.index, rkey)
+                cost = op.cost_per_frame(fidelity) * retrieved.n_frames
+                result_hit = False
+                if rkey is not None:
+                    if self.cache.results.is_committed(rkey):
+                        # The result is resident in simulated RAM: this
+                        # segment's consume is free for this stage (the
+                        # hit is counted when the consume task runs).
+                        # Result outputs are orders of magnitude smaller
+                        # than frames, so unlike frame hits no RAM-read
+                        # time is modeled — charging a near-zero epsilon
+                        # would only poison latency/service ratios.
+                        result_hits.append((rkey, cost))
+                        cost = 0.0
+                        result_hit = True
+                consume_costs.append(cost)
+                # A committed hit has nothing to produce or deduplicate:
+                # its key is cleared so the executor's single-flight pass
+                # leaves it alone.
+                result_keys.append(None if result_hit else rkey)
+                result_nbytes.append(float(output.nbytes))
                 hits = int(np.asarray(output).sum())
                 if hits > 0:
                     survivors.append(segment)
                     n_pos += hits
+                if result_hit:
+                    # The stage output is already resident: the frames are
+                    # never needed, so no retrieval is planned at all —
+                    # charging disk/decode for provably unused data would
+                    # overstate warm latency and pool contention.
+                    continue
+                cache_hit = access is not None and access.hit
                 tasks.append(ResourceTask(
                     kind="retrieve",
-                    resource="disk" if fmt.is_raw else "decoder",
+                    resource="cache" if cache_hit
+                    else ("disk" if fmt.is_raw else "decoder"),
                     units=1,
                     duration=retrieved.retrieval_seconds,
-                    category=reader.category,
+                    category="cache" if cache_hit else reader.category,
                     operator=name,
+                    access=access,
+                    hit=cache_hit,
                 ))
             # A stage with fewer segments than contexts can never load the
-            # extra contexts (least-loaded dispatch leaves them idle), so
+            # extra contexts (least-loaded dispatch leaves them idle), and
+            # zero-cost (result-cache-hit) segments do no work either, so
             # only hold as many pool units as can actually do work.
+            busy_segments = sum(1 for c in consume_costs if c > 0)
             tasks.append(ResourceTask(
                 kind="consume",
                 resource="operators",
-                units=max(1, min(contexts, len(consume_costs))),
+                units=max(1, min(contexts, busy_segments)),
                 duration=dispatch(consume_costs, contexts).makespan,
                 category="consume",
                 operator=name,
@@ -273,6 +316,10 @@ class QueryEngine:
                 tasks=tuple(tasks),
                 touched=len(active),
                 positives=n_pos,
+                consume_costs=tuple(consume_costs),
+                result_keys=tuple(result_keys),
+                result_nbytes=tuple(result_nbytes),
+                result_hits=tuple(result_hits),
             ))
             active = survivors
 
@@ -283,6 +330,26 @@ class QueryEngine:
             video_seconds=t1 - t0,
             stages=tuple(stages),
         )
+
+    def _stage_output(self, op, name: str, clip, fidelity: Fidelity,
+                      index: int, rkey: Optional[tuple]) -> np.ndarray:
+        """One stage's deterministic output over one segment.
+
+        Outputs are seeded per (operator, dataset, segment, fidelity), so
+        the result cache's memo (keyed by the caller-supplied ``rkey``)
+        can serve them without re-running the operator's real compute;
+        simulated charging is decided separately by the committed set
+        (see :mod:`repro.cache.results`).
+        """
+        if rkey is not None:
+            cached = self.cache.results.get_output(rkey)
+            if cached is not None:
+                return cached
+        rng = rng_for("query", name, self.dataset, index, fidelity.label)
+        output = np.asarray(op.run(clip, fidelity, rng))
+        if rkey is not None:
+            self.cache.results.record_output(rkey, output)
+        return output
 
     def execute(
         self,
@@ -316,6 +383,7 @@ class QueryEngine:
             codec=self.codec,
             clock=clock,
             engines={self.dataset: self},
+            cache=self.cache,
         )
         executor.admit(query, self.dataset, accuracy, t0, t1,
                        stream=stream, scheme=scheme, contexts=contexts)

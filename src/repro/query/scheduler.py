@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.plane import CachePlane, RetrievalAccess
 from repro.clock import SimClock
 from repro.codec.decoder import DecoderPool
 from repro.codec.model import CodecModel, DEFAULT_CODEC
@@ -126,8 +127,9 @@ class OperatorContextPool:
             raise QueryError(f"need at least one operator context: {self.contexts}")
 
 
-#: Resource names the executor schedules on.
-RESOURCES: Tuple[str, ...] = ("disk", "decoder", "operators")
+#: Resource names the executor schedules on.  ``"cache"`` is the RAM tier
+#: serving decoded-frame hits; it is always uncontended.
+RESOURCES: Tuple[str, ...] = ("disk", "decoder", "operators", "cache")
 
 
 @dataclass(frozen=True)
@@ -138,8 +140,10 @@ class ResourceTask:
     resource: str  # one of RESOURCES
     units: int  # pool units held while running
     duration: float  # simulated seconds of service
-    category: str  # SimClock category ("disk" | "decode" | "consume")
+    category: str  # SimClock category ("disk" | "decode" | "consume" | "cache")
     operator: str  # cascade stage this task belongs to
+    access: Optional[RetrievalAccess] = None  # cache view of a retrieve task
+    hit: bool = False  # True when planned as a committed cache hit
 
 
 @dataclass(frozen=True)
@@ -150,6 +154,17 @@ class StagePlan:
     tasks: Tuple[ResourceTask, ...]  # retrievals in segment order, then consume
     touched: int  # segments this stage scanned
     positives: int  # positive frames it produced
+    #: Per-segment consume costs (zeroed for committed result-cache hits)
+    #: and the matching result-cache keys, in task order; empty / ``None``
+    #: entries when the store runs without a cache plane.
+    consume_costs: Tuple[float, ...] = ()
+    result_keys: Tuple[Optional[tuple], ...] = ()
+    #: Output byte sizes matching ``result_keys`` — commits must not read
+    #: sizes back out of the (separately bounded) real-RAM memo.
+    result_nbytes: Tuple[float, ...] = ()
+    #: (key, saved seconds) per committed result hit — counted when the
+    #: stage's consume actually runs on the clock.
+    result_hits: Tuple[Tuple[tuple, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -345,9 +360,46 @@ class _Pool:
 
 
 @dataclass
+class _RunTask:
+    """A planned task as actually scheduled in one run.
+
+    Without a cache plane this mirrors the planned :class:`ResourceTask`
+    exactly.  With one, the executor's single-flight transformation may
+    rewrite a retrieval that duplicates an earlier query's in-flight miss
+    into a RAM-tier read that *depends on* the leader's task, and zero the
+    deduplicated share of a stage consume — so the runtime resource,
+    duration and dependency edges live here, while the plan stays intact.
+    """
+
+    task: ResourceTask  # the planned task (kept for reference/accounting)
+    resource: str
+    units: int
+    duration: float
+    category: str
+    uid: int
+    deps: Tuple[int, ...] = ()  # uids that must complete before this starts
+    commit_access: Optional[RetrievalAccess] = None  # leader: insert on done
+    follower_access: Optional[RetrievalAccess] = None  # follower: unpin on done
+    note_access: Optional[RetrievalAccess] = None  # tier heat on done
+    #: (key, saved seconds, output bytes) per result this task computes
+    produced_results: Tuple[Tuple[tuple, float, float], ...] = ()
+    hit_results: Tuple[Tuple[tuple, float], ...] = ()  # committed result hits
+    dedup_count: int = 0  # segment consumes deduplicated onto earlier tasks
+    dedup_saved: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        return self.task.kind
+
+    @property
+    def operator(self) -> str:
+        return self.task.operator
+
+
+@dataclass
 class _Waiting:
     session: QuerySession
-    task: ResourceTask
+    task: _RunTask
     seq: int
     since: float
 
@@ -355,7 +407,7 @@ class _Waiting:
 @dataclass
 class _Running:
     session: QuerySession
-    task: ResourceTask
+    task: _RunTask
     start: float
     end: float
     seq: int
@@ -390,6 +442,7 @@ class ConcurrentExecutor:
         codec: CodecModel = DEFAULT_CODEC,
         clock: Optional[SimClock] = None,
         engines: Optional[Dict[str, "QueryEngine"]] = None,
+        cache: Optional[CachePlane] = None,
     ):
         self.config = config
         self.library = library
@@ -397,6 +450,7 @@ class ConcurrentExecutor:
         self.codec = codec
         self.policy = policy or FIFOPolicy()
         self.clock = clock or SimClock()
+        self.cache = cache
         self._pools: Dict[str, _Pool] = {
             "disk": _Pool("disk", disk_pool.channels if disk_pool else None),
             "decoder": _Pool(
@@ -405,11 +459,14 @@ class ConcurrentExecutor:
             "operators": _Pool(
                 "operators", operator_pool.contexts if operator_pool else None
             ),
+            # The RAM tier serving cache hits never queues anyone.
+            "cache": _Pool("cache", None),
         }
         self._engines: Dict[str, "QueryEngine"] = dict(engines or {})
         self._sessions: List[QuerySession] = []
         self._started_at: float = self.clock.now
         self._ran = False
+        self._frame_followers: Dict[tuple, int] = {}
 
     # -- admission ---------------------------------------------------------
 
@@ -418,7 +475,8 @@ class ConcurrentExecutor:
             from repro.query.engine import QueryEngine
 
             self._engines[dataset] = QueryEngine(
-                self.config, self.library, dataset, codec=self.codec
+                self.config, self.library, dataset, codec=self.codec,
+                cache=self.cache,
             )
         return self._engines[dataset]
 
@@ -473,6 +531,135 @@ class ConcurrentExecutor:
     def sessions(self) -> List[QuerySession]:
         return list(self._sessions)
 
+    # -- single-flight chain transformation --------------------------------
+
+    def _runtime_chains(self) -> Dict[int, List[_RunTask]]:
+        """Materialize each session's chain as runtime tasks.
+
+        Without a cache plane (or with single-flight disabled) every plan
+        task maps through verbatim.  With one, duplicate work across the
+        admitted sessions is deduplicated in admission order:
+
+        * a retrieval whose frame-cache key an earlier task already misses
+          on becomes a *follower*: it runs on the RAM tier for the hit
+          cost, but only after the leader's retrieval completed (the
+          follower waits on the in-flight entry instead of re-reading);
+        * a stage consume whose result keys an earlier consume already
+          produces drops those segments' costs and waits on the producer.
+
+        Dependency edges always point at tasks created earlier in this
+        scan, and every session's own chain is serial, so the dependency
+        graph is acyclic and the event loop cannot deadlock.
+        """
+        single_flight = (self.cache is not None
+                         and self.cache.config.single_flight)
+        chains: Dict[int, List[_RunTask]] = {}
+        uid = 0
+        frame_leaders: Dict[tuple, int] = {}
+        result_leaders: Dict[tuple, int] = {}
+        self._frame_followers = {}
+
+        for session in self._sessions:
+            chain: List[_RunTask] = []
+            for stage in session.plan.stages:
+                for task in stage.tasks:
+                    if task.kind == "retrieve":
+                        rt = self._runtime_retrieve(task, uid, single_flight,
+                                                    frame_leaders)
+                    else:
+                        rt = self._runtime_consume(task, stage, session, uid,
+                                                   single_flight,
+                                                   result_leaders)
+                    chain.append(rt)
+                    uid += 1
+            chains[session.qid] = chain
+        return chains
+
+    def _runtime_retrieve(self, task: ResourceTask, uid: int,
+                          single_flight: bool,
+                          leaders: Dict[tuple, int]) -> _RunTask:
+        access = task.access
+        if access is None or task.hit:
+            # No cache, or a committed hit already planned on the RAM tier.
+            return _RunTask(task=task, resource=task.resource,
+                            units=task.units, duration=task.duration,
+                            category=task.category, uid=uid,
+                            note_access=access)
+        if single_flight and access.key in leaders:
+            self._frame_followers[access.key] = (
+                self._frame_followers.get(access.key, 0) + 1
+            )
+            return _RunTask(task=task, resource="cache", units=1,
+                            duration=access.hit_seconds, category="cache",
+                            uid=uid, deps=(leaders[access.key],),
+                            follower_access=access, note_access=access)
+        leaders[access.key] = uid
+        return _RunTask(task=task, resource=task.resource, units=task.units,
+                        duration=task.duration, category=task.category,
+                        uid=uid, commit_access=access, note_access=access)
+
+    def _runtime_consume(self, task: ResourceTask, stage: StagePlan,
+                         session: QuerySession, uid: int,
+                         single_flight: bool,
+                         leaders: Dict[tuple, int]) -> _RunTask:
+        if self.cache is None or not stage.result_keys:
+            return _RunTask(task=task, resource=task.resource,
+                            units=task.units, duration=task.duration,
+                            category=task.category, uid=uid,
+                            hit_results=stage.result_hits)
+        costs = list(stage.consume_costs)
+        deps: List[int] = []
+        produced: List[Tuple[tuple, float, float]] = []
+        dedup_count = 0
+        dedup_saved = 0.0
+        for i, (cost, key, nbytes) in enumerate(
+                zip(costs, stage.result_keys, stage.result_nbytes)):
+            if key is None or cost <= 0:
+                continue  # uncached segment, or already a committed hit
+            if single_flight and key in leaders:
+                deps.append(leaders[key])
+                dedup_count += 1
+                dedup_saved += cost
+                costs[i] = 0.0
+            else:
+                leaders[key] = uid
+                produced.append((key, cost, nbytes))
+        if dedup_count:
+            duration = dispatch(costs, session.contexts).makespan
+        else:
+            duration = task.duration  # nothing zeroed: plan makespan holds
+        # Dedup zeroed more segments: re-clamp the gang to remaining work.
+        busy_segments = sum(1 for c in costs if c > 0)
+        units = max(1, min(task.units, busy_segments))
+        return _RunTask(task=task, resource=task.resource, units=units,
+                        duration=duration, category=task.category, uid=uid,
+                        deps=tuple(sorted(set(deps))),
+                        produced_results=tuple(produced),
+                        hit_results=stage.result_hits,
+                        dedup_count=dedup_count, dedup_saved=dedup_saved)
+
+    def _task_completed(self, rt: _RunTask) -> None:
+        """Cache bookkeeping when a runtime task finishes in simulated time."""
+        if self.cache is None:
+            return
+        if rt.commit_access is not None:
+            self.cache.commit_frames(
+                rt.commit_access,
+                pins=self._frame_followers.get(rt.commit_access.key, 0),
+            )
+        if rt.follower_access is not None:
+            self.cache.serve_follower(rt.follower_access)
+        if rt.task.hit and rt.note_access is not None:
+            self.cache.record_frame_hit(rt.note_access)
+        if rt.note_access is not None:
+            self.cache.note_access(rt.note_access)
+        for key, saved, nbytes in rt.produced_results:
+            self.cache.results.commit(key, saved, nbytes=nbytes)
+        for key, saved in rt.hit_results:
+            self.cache.record_result_hit(key, saved)
+        if rt.dedup_count:
+            self.cache.dedup_consume(rt.dedup_saved, rt.dedup_count)
+
     # -- the event loop ----------------------------------------------------
 
     def run(self) -> List[QueryOutcome]:
@@ -484,10 +671,12 @@ class ConcurrentExecutor:
 
         waiting: List[_Waiting] = []
         running: List[_Running] = []
+        completed: set = set()  # uids of finished runtime tasks
         seq = 0
         # plan.tasks flattens the stage chains on every access; materialize
-        # each chain once so the loop stays linear in the task count.
-        chains = {s.qid: s.plan.tasks for s in self._sessions}
+        # each chain once (applying the single-flight dedup when a cache
+        # plane is attached) so the loop stays linear in the task count.
+        chains = self._runtime_chains()
 
         def submit_next(session: QuerySession) -> None:
             nonlocal seq
@@ -504,7 +693,9 @@ class ConcurrentExecutor:
             nonlocal seq
             while True:
                 fitting = [
-                    w for w in waiting if self._pools[w.task.resource].fits(w.task.units)
+                    w for w in waiting
+                    if self._pools[w.task.resource].fits(w.task.units)
+                    and all(d in completed for d in w.task.deps)
                 ]
                 if not fitting:
                     return
@@ -546,11 +737,17 @@ class ConcurrentExecutor:
             service[done.task.resource] = (
                 service.get(done.task.resource, 0.0) + done.task.duration
             )
+            completed.add(done.task.uid)
+            self._task_completed(done.task)
             submit_next(done.session)
             grant()
 
-        if waiting:  # pragma: no cover - guarded by admission-time clamping
+        if waiting:  # pragma: no cover - guarded by the acyclic dedup graph
             raise QueryError("deadlock: waiting tasks but nothing running")
+        # Close the cross-layer loop: after the run, migrate segments the
+        # access stats marked hot (the migration I/O is on the clock).
+        if self.cache is not None and self.cache.tiers is not None:
+            self.cache.sweep_tiers(self.clock, self.store.disk)
         return [self._outcome(s) for s in self._sessions]
 
     def _outcome(self, session: QuerySession) -> QueryOutcome:

@@ -10,8 +10,9 @@ simulated seconds spent — from which effective retrieval speed follows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
+from repro.cache.plane import CachePlane, RetrievalAccess
 from repro.clock import SimClock
 from repro.codec.chunks import decoded_frame_count
 from repro.codec.model import CodecModel, DEFAULT_CODEC
@@ -42,6 +43,7 @@ class SegmentReader:
         consumer_fidelity: Fidelity,
         codec: CodecModel = DEFAULT_CODEC,
         clock: Optional[SimClock] = None,
+        cache: Optional[CachePlane] = None,
     ):
         if not fmt.fidelity.richer_equal(consumer_fidelity):
             raise StorageError(
@@ -54,6 +56,7 @@ class SegmentReader:
         self.codec = codec
         self.clock = clock or SimClock()
         self.disk: DiskModel = store.disk
+        self.cache = cache
 
     @property
     def category(self) -> str:
@@ -77,12 +80,12 @@ class SegmentReader:
             n_stored = max(1, meta.n_frames)
             consumed = len(range(0, n_stored, stride))
             frame_bytes = self.codec.raw_frame_bytes(self.fmt.fidelity)
+            bandwidth, overhead = self._disk_params(stream, index)
             # Either scan the whole segment sequentially or read sampled
             # frames individually, whichever is cheaper (cf. DiskModel).
-            scan = (n_stored * frame_bytes / self.disk.read_bandwidth
-                    + self.disk.request_overhead)
-            sparse = (consumed * frame_bytes / self.disk.read_bandwidth
-                      + consumed * self.disk.request_overhead)
+            scan = (n_stored * frame_bytes / bandwidth + overhead)
+            sparse = (consumed * frame_bytes / bandwidth
+                      + consumed * overhead)
             seconds = min(scan, sparse)
             return RetrievedClip(
                 stored=meta,
@@ -105,10 +108,71 @@ class SegmentReader:
             retrieval_seconds=seconds,
         )
 
-    def read(self, stream: str, index: int) -> RetrievedClip:
-        """Retrieve one segment, charging decode or disk time."""
+    def _disk_params(self, stream: str, index: int) -> Tuple[float, float]:
+        """(bandwidth, request overhead) serving this segment's raw reads.
+
+        Hot segments promoted to the fast tier (see
+        :mod:`repro.cache.tiers`) stream at fast-tier bandwidth.
+        """
+        if self.cache is not None and self.cache.tiers is not None:
+            return self.cache.tiers.read_params(
+                stream, index,
+                self.disk.read_bandwidth, self.disk.request_overhead,
+            )
+        return self.disk.read_bandwidth, self.disk.request_overhead
+
+    def assess_cached(
+        self, stream: str, index: int
+    ) -> Tuple[RetrievedClip, Optional[RetrievalAccess]]:
+        """Like :meth:`assess`, consulting the decoded-frame cache.
+
+        On a (committed) cache hit the clip's retrieval cost becomes the
+        RAM-tier cost; the returned :class:`RetrievalAccess` carries the
+        key, both costs, and the entry size, so the executor can commit a
+        miss when its retrieval task actually completes in simulated time
+        — and deduplicate identical in-flight misses (single-flight).
+        Without a cache plane this is exactly :meth:`assess`.
+        """
         retrieved = self.assess(stream, index)
-        self.clock.charge(retrieved.retrieval_seconds, self.category)
+        if self.cache is None:
+            return retrieved, None
+        key = self.cache.frame_key(stream, index, self.fmt.label,
+                                   self.consumer_fidelity.label)
+        nbytes = (retrieved.n_frames
+                  * self.codec.raw_frame_bytes(self.consumer_fidelity))
+        # peek, not get: planning is side-effect-free — hit/miss counters
+        # move when the retrieval is actually served on the clock.
+        access = RetrievalAccess(
+            key=key,
+            hit=self.cache.frames.peek(key) is not None,
+            full_seconds=retrieved.retrieval_seconds,
+            hit_seconds=self.cache.hit_seconds(nbytes),
+            nbytes=nbytes,
+            stored_bytes=float(retrieved.stored.size_bytes),
+            raw=self.fmt.is_raw,
+        )
+        if access.hit:
+            retrieved = RetrievedClip(
+                stored=retrieved.stored,
+                consumer_fidelity=retrieved.consumer_fidelity,
+                n_frames=retrieved.n_frames,
+                retrieval_seconds=access.hit_seconds,
+            )
+        return retrieved, access
+
+    def read(self, stream: str, index: int) -> RetrievedClip:
+        """Retrieve one segment, charging decode or disk time.
+
+        With a cache plane attached, a decoded-frame hit charges the RAM
+        cost to the ``"cache"`` category instead, and a miss inserts the
+        decoded frames for the next reader.
+        """
+        retrieved, access = self.assess_cached(stream, index)
+        if access is None:
+            self.clock.charge(retrieved.retrieval_seconds, self.category)
+            return retrieved
+        if not self.cache.serve_retrieval(self.clock, access):
+            self.clock.charge(access.full_seconds, self.category)
         return retrieved
 
     def read_range(self, stream: str, indices: List[int]) -> Iterator[RetrievedClip]:

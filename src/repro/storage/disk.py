@@ -29,14 +29,25 @@ class DiskModel:
 
     # -- charged operations ------------------------------------------------------
 
+    @staticmethod
+    def _validate(n_bytes: float, requests: int) -> None:
+        # A negative size or request count would charge negative seconds,
+        # silently rewinding the simulated clock.
+        if n_bytes < 0:
+            raise ValueError(f"cannot transfer negative bytes: {n_bytes}")
+        if requests < 0:
+            raise ValueError(f"negative request count: {requests}")
+
     def read(self, n_bytes: float, requests: int = 1) -> float:
         """Charge a read of ``n_bytes`` split over ``requests`` random I/Os."""
+        self._validate(n_bytes, requests)
         seconds = n_bytes / self.read_bandwidth + requests * self.request_overhead
         self.clock.charge(seconds, "disk")
         return seconds
 
     def write(self, n_bytes: float, requests: int = 1) -> float:
         """Charge a write of ``n_bytes``."""
+        self._validate(n_bytes, requests)
         seconds = n_bytes / self.write_bandwidth + requests * self.request_overhead
         self.clock.charge(seconds, "disk")
         return seconds

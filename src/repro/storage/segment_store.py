@@ -80,15 +80,26 @@ def _parse_fmt(text: str) -> StorageFormat:
 
 
 class SegmentStore:
-    """Stores and retrieves per-format video segments."""
+    """Stores and retrieves per-format video segments.
+
+    When a cache plane is attached (``self.cache``), every write and
+    delete invalidates the affected segment's cached artifacts — decoded
+    frames, memoized operator results, tier placement — so re-ingest and
+    erosion can never leave stale cache state behind.
+    """
 
     def __init__(self, kv: KVStore, disk: DiskModel = DEFAULT_DISK):
         self.kv = kv
         self.disk = disk
+        self.cache = None  # Optional[repro.cache.plane.CachePlane]
         self._footprint: Dict[Tuple[str, str], int] = {}
         self._count: Dict[Tuple[str, str], int] = {}
         self._migrate_legacy_keys()
         self._load_footprints()
+
+    def _invalidate_cache(self, stream: str, index: int) -> None:
+        if self.cache is not None:
+            self.cache.invalidate(stream, index)
 
     def _migrate_legacy_keys(self) -> None:
         """Rewrite keys from stores written before percent-escaping.
@@ -149,6 +160,7 @@ class SegmentStore:
         existed = key in self.kv
         self.kv.put(key, blob)
         self.disk.write(encoded.size_bytes)
+        self._invalidate_cache(encoded.segment.stream, encoded.segment.index)
         bucket = (encoded.segment.stream, _fmt_key(encoded.fmt))
         if existed:
             # Overwrite: footprint was already counted; recompute lazily.
@@ -218,6 +230,7 @@ class SegmentStore:
             return False
         size = self._read_meta(key)["size_bytes"]
         self.kv.delete(key)
+        self._invalidate_cache(stream, index)
         bucket = (stream, _fmt_key(fmt))
         self._footprint[bucket] = self._footprint.get(bucket, 0) - size
         self._count[bucket] = self._count.get(bucket, 0) - 1

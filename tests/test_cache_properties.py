@@ -1,0 +1,97 @@
+"""Hypothesis property tests for cache invariants.
+
+Three invariants from the cache design:
+
+* occupancy never exceeds the byte budget, whatever the op sequence;
+* on a replayed trace, LRU hit count is monotone non-decreasing in
+  capacity (the stack property — a bigger cache never hits less);
+* eviction never removes an entry pinned by an in-flight single-flight
+  waiter, under any policy and any insert pressure.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    ByteBudgetCache,
+    CostAwarePolicy,
+    LFUPolicy,
+    LRUPolicy,
+)
+
+POLICIES = st.sampled_from([LRUPolicy, LFUPolicy, CostAwarePolicy])
+
+# An op is (kind, key id, size): puts use the size, gets ignore it.
+OPS = st.lists(
+    st.tuples(st.sampled_from(["put", "get", "invalidate"]),
+              st.integers(min_value=0, max_value=15),
+              st.floats(min_value=0.0, max_value=40.0,
+                        allow_nan=False, allow_infinity=False)),
+    max_size=60,
+)
+
+
+@given(policy=POLICIES,
+       capacity=st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False),
+       ops=OPS)
+def test_occupancy_never_exceeds_capacity(policy, capacity, ops):
+    cache = ByteBudgetCache(capacity, policy())
+    for kind, kid, size in ops:
+        key = ("s", kid)
+        if kind == "put":
+            cache.put(key, size, 1.0)
+        elif kind == "get":
+            cache.get(key)
+        else:
+            cache.invalidate("s", kid)
+        assert cache.occupancy_bytes <= cache.capacity_bytes + 1e-9
+    # occupancy equals the sum of resident entry sizes (no drift)
+    assert abs(cache.occupancy_bytes
+               - sum(e.nbytes for e in cache.entries())) < 1e-9
+
+
+@given(trace=st.lists(st.integers(min_value=0, max_value=11),
+                      min_size=1, max_size=120),
+       capacities=st.lists(st.integers(min_value=1, max_value=14),
+                           min_size=2, max_size=5))
+def test_lru_hit_rate_monotone_in_capacity(trace, capacities):
+    """The LRU stack property over uniform-size entries: replaying one
+    trace through caches of growing capacity never loses hits."""
+
+    def hits_at(n_slots):
+        cache = ByteBudgetCache(float(n_slots), LRUPolicy())
+        for kid in trace:
+            if cache.get(("s", kid)) is None:
+                cache.put(("s", kid), 1.0, 1.0)
+        return cache.hits
+
+    counts = [hits_at(n) for n in sorted(capacities)]
+    assert counts == sorted(counts)
+
+
+@given(policy=POLICIES,
+       pinned=st.sets(st.integers(min_value=0, max_value=3),
+                      min_size=1, max_size=4),
+       ops=OPS)
+@settings(max_examples=150)
+def test_pinned_entries_survive_any_eviction_pressure(policy, pinned, ops):
+    cache = ByteBudgetCache(100.0, policy())
+    resident = set()
+    for kid in pinned:
+        # pinned single-flight entries: a follower still needs them
+        if cache.put(("pinned", kid), 20.0, 1.0, pins=1):
+            resident.add(("pinned", kid))
+    for kind, kid, size in ops:
+        key = ("s", kid)
+        if kind == "put":
+            cache.put(key, size, 1.0)
+        else:
+            cache.get(key)
+        for pinned_key in resident:
+            assert pinned_key in cache
+    # once unpinned, the entries become ordinary victims again
+    for pinned_key in resident:
+        cache.unpin(pinned_key)
+    for i in range(20):
+        cache.put(("flood", i), 30.0, 50.0)
+    assert cache.occupancy_bytes <= cache.capacity_bytes

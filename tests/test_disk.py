@@ -53,6 +53,30 @@ def test_raw_read_sampled_frames_individually(disk):
     assert sparse > 5 * full
 
 
+def test_negative_bytes_rejected(disk):
+    # A negative size would charge negative seconds, silently rewinding
+    # the simulated clock.
+    with pytest.raises(ValueError):
+        disk.read(-1.0)
+    with pytest.raises(ValueError):
+        disk.write(-1.0 * MB)
+    assert disk.clock.now == 0.0
+
+
+def test_negative_requests_rejected(disk):
+    with pytest.raises(ValueError):
+        disk.read(1.0 * MB, requests=-1)
+    with pytest.raises(ValueError):
+        disk.write(1.0 * MB, requests=-2)
+    assert disk.clock.now == 0.0
+
+
+def test_zero_sized_transfers_allowed(disk):
+    # Zero bytes / zero requests are legal no-ops (plus any request cost).
+    assert disk.read(0.0, requests=0) == 0.0
+    assert disk.write(0.0) == pytest.approx(0.1e-3)
+
+
 def test_raw_read_speed_monotone_in_sampling(disk):
     fid = Fidelity.parse("best-200p-1-100%")
     frame = 200 * 200 * 1.5

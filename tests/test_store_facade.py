@@ -92,3 +92,44 @@ def test_execute_requires_workdir():
 def test_empty_execute_range_rejected(store):
     with pytest.raises(QueryError):
         store.execute("A", dataset="jackson", accuracy=0.9, t0=8.0, t1=8.0)
+
+
+def test_close_is_idempotent(tmp_path):
+    s = VStore(workdir=str(tmp_path / "w"))
+    s.close()
+    s.close()  # second close must be a no-op, not an error
+    assert s.closed
+    with VStore(workdir=str(tmp_path / "w2")) as nested:
+        nested.close()  # __exit__ after an explicit close is fine too
+    assert nested.closed
+
+
+def test_closed_store_rejects_use(tmp_path):
+    from repro.errors import StorageError
+
+    lib = default_library(names=("Diff", "S-NN", "NN"))
+    s = VStore(workdir=str(tmp_path / "w"), library=lib)
+    s.configure()
+    s.ingest("jackson", n_segments=2)
+    s.close()
+    with pytest.raises(StorageError, match="closed"):
+        s.engine("jackson")
+    with pytest.raises(StorageError, match="closed"):
+        s.execute("A", dataset="jackson", accuracy=0.9, t0=0.0, t1=8.0)
+    with pytest.raises(StorageError, match="closed"):
+        s.ingest("jackson", n_segments=1)
+    with pytest.raises(StorageError, match="closed"):
+        s.executor()
+    with pytest.raises(StorageError, match="closed"):
+        s.age("jackson", now_seconds=0.0)
+
+
+def test_close_without_workdir_still_guards(tmp_path):
+    from repro.errors import StorageError
+
+    s = VStore()
+    s.configure()
+    s.close()
+    s.close()
+    with pytest.raises(StorageError, match="closed"):
+        s.query("A", dataset="jackson", accuracy=0.9, duration=60.0)
