@@ -13,6 +13,12 @@ from repro.analysis.concurrency import (
     jain_index,
 )
 from repro.analysis.focus import FocusComparison
+from repro.analysis.sharding import (
+    ShardRow,
+    ShardingReport,
+    format_sharding_table,
+    sharding_report,
+)
 from repro.analysis.sweeps import (
     budget_sweep_series,
     erosion_series,
@@ -35,8 +41,12 @@ __all__ = [
     "format_warm_cold_table",
     "FocusComparison",
     "QueryLatencyRow",
+    "ShardRow",
+    "ShardingReport",
     "concurrency_report",
     "format_concurrency_table",
+    "format_sharding_table",
+    "sharding_report",
     "jain_index",
     "budget_sweep_series",
     "erosion_series",

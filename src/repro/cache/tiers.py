@@ -111,6 +111,23 @@ class TierManager:
 
     # -- migration ---------------------------------------------------------
 
+    @staticmethod
+    def _slow_disk(slow: DiskModel, seg: SegmentId) -> DiskModel:
+        """The slow-tier disk serving one segment.
+
+        A :class:`~repro.storage.sharding.ShardedDiskArray` resolves to
+        the segment's assigned shard (migration reads/writes occupy that
+        spindle); a plain :class:`DiskModel` is its own answer.
+        """
+        locate = getattr(slow, "segment_disk", None)
+        return slow if locate is None else locate(seg[0], seg[1])
+
+    @staticmethod
+    def _note_slow_io(slow: DiskModel, seg: SegmentId, seconds: float) -> None:
+        note = getattr(slow, "note_slow_io", None)
+        if note is not None:
+            note(seg[0], seg[1], seconds)
+
     def sweep(self, clock: SimClock, slow: DiskModel) -> Tuple[int, int]:
         """One promotion/demotion round; returns (promoted, demoted).
 
@@ -118,9 +135,11 @@ class TierManager:
         the cold threshold, then promotes the hottest unpromoted segments
         that fit the fast-tier budget.  Every byte moved is charged to the
         clock under the ``"migrate"`` category: a promotion reads from the
-        slow tier and writes to the fast one, a demotion the reverse.
-        Access counts are halved afterwards so heat reflects a sliding
-        window rather than all time.
+        slow tier and writes to the fast one, a demotion the reverse.  On
+        a sharded slow tier the slow-side I/O runs against (and is
+        attributed to) the segment's assigned shard.  Access counts are
+        halved afterwards so heat reflects a sliding window rather than
+        all time.
         """
         fast = self.config.fast
         demoted = 0
@@ -128,11 +147,17 @@ class TierManager:
             if self._accesses.get(seg, 0) < self.config.demote_accesses:
                 placement = self._promoted.pop(seg)
                 self.fast_bytes -= placement.nbytes
+                disk = self._slow_disk(slow, seg)
+                # Keep the pre-sharding float association (a + b) + c: the
+                # one-shard array must charge bit-identical seconds.
                 self._charge(clock,
                              fast.read_seconds(placement.nbytes)
-                             + placement.nbytes / slow.write_bandwidth
-                             + slow.request_overhead,
+                             + placement.nbytes / disk.write_bandwidth
+                             + disk.request_overhead,
                              placement.nbytes)
+                self._note_slow_io(slow, seg,
+                                   placement.nbytes / disk.write_bandwidth
+                                   + disk.request_overhead)
                 self.demotions += 1
                 demoted += 1
 
@@ -151,10 +176,12 @@ class TierManager:
                 continue
             self._promoted[seg] = _Placement(nbytes, count)
             self.fast_bytes += nbytes
+            disk = self._slow_disk(slow, seg)
+            slow_seconds = nbytes / disk.read_bandwidth + disk.request_overhead
             self._charge(clock,
-                         nbytes / slow.read_bandwidth + slow.request_overhead
-                         + fast.write_seconds(nbytes),
+                         slow_seconds + fast.write_seconds(nbytes),
                          nbytes)
+            self._note_slow_io(slow, seg, slow_seconds)
             self.promotions += 1
             promoted += 1
 

@@ -19,12 +19,14 @@ from typing import Optional, Sequence
 
 from repro.analysis.cache import format_cache_table
 from repro.analysis.focus import FocusComparison
+from repro.analysis.sharding import format_sharding_table
 from repro.analysis.tables import (
     format_configuration_table,
     format_erosion_table,
 )
 from repro.cache import CacheConfig, POLICIES, TierConfig
 from repro.core.store import VStore
+from repro.storage.sharding import PLACEMENTS
 from repro.ingest.budget import IngestBudget
 from repro.operators.library import TABLE2_ORDER, default_library
 from repro.units import DAY, TB, fmt_bytes
@@ -60,6 +62,8 @@ def _build_store(args: argparse.Namespace) -> VStore:
     storage = None if args.storage_budget_tb is None else (
         args.storage_budget_tb * TB
     )
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
     return VStore(
         workdir=getattr(args, "workdir", None),
         library=library,
@@ -67,6 +71,8 @@ def _build_store(args: argparse.Namespace) -> VStore:
         storage_budget_bytes=storage,
         lifespan_days=args.lifespan_days,
         cache_config=_cache_config(args),
+        shards=args.shards,
+        placement=args.placement,
     )
 
 
@@ -82,6 +88,13 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--storage-budget-tb", type=float, default=None,
                         help="storage budget in TB (enables erosion)")
     parser.add_argument("--lifespan-days", type=int, default=10)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="number of independent disk shards (1 keeps "
+                             "the single-disk behavior)")
+    parser.add_argument("--placement", choices=sorted(PLACEMENTS),
+                        default="hash",
+                        help="shard placement policy (default: hash; only "
+                             "meaningful with --shards > 1)")
 
 
 def cmd_configure(args: argparse.Namespace) -> int:
@@ -124,6 +137,9 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         print(f"ingested {args.segments} segments of {args.dataset} into "
               f"{len(store.configuration.storage_formats)} formats "
               f"({fmt_bytes(total)} on disk)")
+        if store.n_shards > 1:
+            print()
+            print(format_sharding_table(store.sharding_report()))
     return 0
 
 
@@ -145,6 +161,9 @@ def cmd_execute(args: argparse.Namespace) -> int:
         if store.cache is not None:
             print()
             print(format_cache_table(store.cache_stats()))
+        if store.n_shards > 1:
+            print()
+            print(format_sharding_table(store.sharding_report()))
     return 0
 
 

@@ -35,10 +35,14 @@ from repro.ingest.pipeline import IngestionPipeline, IngestionReport
 from repro.operators.library import OperatorLibrary, default_library
 from repro.query.cascade import cascade_for
 from repro.query.engine import ExecutionResult, QueryEngine, QueryReport
-from repro.storage.disk import DiskModel
 from repro.storage.kvstore import KVStore
 from repro.storage.lifespan import apply_erosion_step
 from repro.storage.segment_store import SegmentStore
+from repro.storage.sharding import (
+    PlacementPolicy,
+    RebalanceReport,
+    ShardedDiskArray,
+)
 
 
 class VStore:
@@ -53,6 +57,8 @@ class VStore:
         storage_budget_bytes: Optional[float] = None,
         lifespan_days: int = 10,
         cache_config: Optional[CacheConfig] = None,
+        shards: int = 1,
+        placement: "str | PlacementPolicy" = "hash",
     ):
         self.library = library or default_library()
         self.profile_datasets = dict(profile_datasets or DEFAULT_PROFILE_DATASETS)
@@ -70,13 +76,20 @@ class VStore:
             CachePlane(cache_config) if cache_config is not None else None
         )
 
+        # The sharded storage plane.  One shard is bit-identical to the
+        # pre-sharding single DiskModel; more shards spread segments by
+        # ``placement`` ("round-robin" | "hash" | "locality" or a policy
+        # instance) and let concurrent retrievals overlap.
+        self.disk_array = ShardedDiskArray(shards, placement=placement,
+                                           clock=self.clock)
+
         self.workdir = workdir
         self.segments: Optional[SegmentStore] = None
         self._kv: Optional[KVStore] = None
         if workdir is not None:
             os.makedirs(workdir, exist_ok=True)
             self._kv = KVStore(os.path.join(workdir, "segments.vstore"))
-            self.segments = SegmentStore(self._kv, DiskModel(clock=self.clock))
+            self.segments = SegmentStore(self._kv, self.disk_array)
             # Writes and deletes (re-ingest, erosion) invalidate the cache.
             self.segments.cache = self.cache
 
@@ -263,6 +276,39 @@ class VStore:
                 "VStore(cache_config=CacheConfig(...))"
             )
         return self.cache.stats()
+
+    # -- sharding -------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.disk_array.n_shards
+
+    def rebalance(self) -> RebalanceReport:
+        """Migrate segments between disk shards to restore byte balance.
+
+        The migration I/O (source read + destination write) is charged to
+        the simulated clock; placements are rewritten in segment metadata
+        so the new layout survives reopen.  No-op on single-shard stores.
+        """
+        self._check_open()
+        if self.segments is None:
+            raise ConfigurationError("rebalancing requires a workdir-backed store")
+        return self.segments.rebalance()
+
+    def sharding_report(self, stats=None):
+        """Per-shard occupancy/utilization/imbalance report.
+
+        Pass a :class:`~repro.query.scheduler.ExecutorStats` (from a
+        concurrent run) to include per-shard channel-pool utilization and
+        the achieved parallel-retrieval speedup.
+        """
+        from repro.analysis.sharding import sharding_report
+
+        if self.segments is None:
+            raise ConfigurationError(
+                "sharding reports require a workdir-backed store"
+            )
+        return sharding_report(self.segments, stats)
 
     # -- aging ----------------------------------------------------------------------------
 

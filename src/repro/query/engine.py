@@ -297,6 +297,7 @@ class QueryEngine:
                     operator=name,
                     access=access,
                     hit=cache_hit,
+                    shard=store.shard_of(stream, fmt, segment.index),
                 ))
             # A stage with fewer segments than contexts can never load the
             # extra contexts (least-loaded dispatch leaves them idle), and

@@ -144,6 +144,9 @@ class ResourceTask:
     operator: str  # cascade stage this task belongs to
     access: Optional[RetrievalAccess] = None  # cache view of a retrieve task
     hit: bool = False  # True when planned as a committed cache hit
+    #: Disk shard serving a "disk" retrieval (0 on unsharded stores);
+    #: the executor routes the task onto that shard's channel pool.
+    shard: int = 0
 
 
 @dataclass(frozen=True)
@@ -451,8 +454,21 @@ class ConcurrentExecutor:
         self.policy = policy or FIFOPolicy()
         self.clock = clock or SimClock()
         self.cache = cache
+        # A sharded store gets one I/O channel pool per disk shard
+        # (``disk_pool.channels`` counts channels *per shard*), so
+        # retrievals on different shards genuinely overlap; a single-shard
+        # store keeps the original one-pool layout and resource names.
+        self._disk_shards = getattr(store.disk, "n_shards", 1)
+        channels = disk_pool.channels if disk_pool else None
+        if self._disk_shards > 1:
+            disk_pools = {
+                f"disk:{i}": _Pool(f"disk:{i}", channels)
+                for i in range(self._disk_shards)
+            }
+        else:
+            disk_pools = {"disk": _Pool("disk", channels)}
         self._pools: Dict[str, _Pool] = {
-            "disk": _Pool("disk", disk_pool.channels if disk_pool else None),
+            **disk_pools,
             "decoder": _Pool(
                 "decoder", decoder_pool.contexts if decoder_pool else None
             ),
@@ -462,6 +478,9 @@ class ConcurrentExecutor:
             # The RAM tier serving cache hits never queues anyone.
             "cache": _Pool("cache", None),
         }
+        #: Task start/finish events of the last run, in simulated-time
+        #: order — the raw material of the golden-trace regression tests.
+        self.trace_events: List[Dict[str, object]] = []
         self._engines: Dict[str, "QueryEngine"] = dict(engines or {})
         self._sessions: List[QuerySession] = []
         self._started_at: float = self.clock.now
@@ -575,13 +594,19 @@ class ConcurrentExecutor:
             chains[session.qid] = chain
         return chains
 
+    def _resource_name(self, task: ResourceTask) -> str:
+        """The pool a task runs on: disk retrievals route to their shard."""
+        if task.resource == "disk" and self._disk_shards > 1:
+            return f"disk:{task.shard % self._disk_shards}"
+        return task.resource
+
     def _runtime_retrieve(self, task: ResourceTask, uid: int,
                           single_flight: bool,
                           leaders: Dict[tuple, int]) -> _RunTask:
         access = task.access
         if access is None or task.hit:
             # No cache, or a committed hit already planned on the RAM tier.
-            return _RunTask(task=task, resource=task.resource,
+            return _RunTask(task=task, resource=self._resource_name(task),
                             units=task.units, duration=task.duration,
                             category=task.category, uid=uid,
                             note_access=access)
@@ -594,7 +619,8 @@ class ConcurrentExecutor:
                             uid=uid, deps=(leaders[access.key],),
                             follower_access=access, note_access=access)
         leaders[access.key] = uid
-        return _RunTask(task=task, resource=task.resource, units=task.units,
+        return _RunTask(task=task, resource=self._resource_name(task),
+                        units=task.units,
                         duration=task.duration, category=task.category,
                         uid=uid, commit_access=access, note_access=access)
 
@@ -638,6 +664,19 @@ class ConcurrentExecutor:
                         hit_results=stage.result_hits,
                         dedup_count=dedup_count, dedup_saved=dedup_saved)
 
+    def _trace(self, event: str, session: QuerySession, rt: _RunTask,
+               t: float) -> None:
+        """Append one task lifecycle event to the run's trace."""
+        self.trace_events.append({
+            "event": event,
+            "t": t,
+            "query": session.label,
+            "kind": rt.kind,
+            "operator": rt.operator,
+            "resource": rt.resource,
+            "duration": rt.duration,
+        })
+
     def _task_completed(self, rt: _RunTask) -> None:
         """Cache bookkeeping when a runtime task finishes in simulated time."""
         if self.cache is None:
@@ -668,6 +707,7 @@ class ConcurrentExecutor:
             raise QueryError("executor already ran; create a new one")
         self._ran = True
         self._started_at = self.clock.now
+        self.trace_events = []
 
         waiting: List[_Waiting] = []
         running: List[_Running] = []
@@ -714,6 +754,7 @@ class ConcurrentExecutor:
                 running.append(
                     _Running(w.session, w.task, now, now + w.task.duration, seq)
                 )
+                self._trace("start", w.session, w.task, now)
                 seq += 1
 
         for session in self._sessions:
@@ -738,6 +779,7 @@ class ConcurrentExecutor:
                 service.get(done.task.resource, 0.0) + done.task.duration
             )
             completed.add(done.task.uid)
+            self._trace("finish", done.session, done.task, self.clock.now)
             self._task_completed(done.task)
             submit_next(done.session)
             grant()

@@ -17,7 +17,6 @@ from repro.clock import SimClock
 from repro.codec.chunks import decoded_frame_count
 from repro.codec.model import CodecModel, DEFAULT_CODEC
 from repro.errors import StorageError
-from repro.storage.disk import DiskModel
 from repro.storage.segment_store import SegmentStore, StoredSegment  # noqa: F401
 from repro.video.fidelity import Fidelity
 from repro.video.format import StorageFormat
@@ -55,7 +54,6 @@ class SegmentReader:
         self.consumer_fidelity = consumer_fidelity
         self.codec = codec
         self.clock = clock or SimClock()
-        self.disk: DiskModel = store.disk
         self.cache = cache
 
     @property
@@ -111,15 +109,18 @@ class SegmentReader:
     def _disk_params(self, stream: str, index: int) -> Tuple[float, float]:
         """(bandwidth, request overhead) serving this segment's raw reads.
 
-        Hot segments promoted to the fast tier (see
-        :mod:`repro.cache.tiers`) stream at fast-tier bandwidth.
+        On a sharded store these are the assigned shard's parameters (see
+        :mod:`repro.storage.sharding`); hot segments promoted to the fast
+        tier (:mod:`repro.cache.tiers`) stream at fast-tier bandwidth.
         """
+        bandwidth, overhead = self.store.disk_params_for(
+            stream, self.fmt, index
+        )
         if self.cache is not None and self.cache.tiers is not None:
             return self.cache.tiers.read_params(
-                stream, index,
-                self.disk.read_bandwidth, self.disk.request_overhead,
+                stream, index, bandwidth, overhead,
             )
-        return self.disk.read_bandwidth, self.disk.request_overhead
+        return bandwidth, overhead
 
     def assess_cached(
         self, stream: str, index: int

@@ -7,8 +7,10 @@ subpackage provides:
   (append-only log + in-memory index + compaction) standing in for LMDB;
 * :mod:`repro.storage.disk` — a disk bandwidth/seek model charged against
   the simulated clock;
+* :mod:`repro.storage.sharding` — the sharded multi-disk plane: N disk
+  shards behind pluggable placement policies, with greedy rebalancing;
 * :mod:`repro.storage.segment_store` — the video-segment index built on the
-  KV store, tracking per-format footprints;
+  KV store, tracking per-format footprints and per-key shard placement;
 * :mod:`repro.storage.lifespan` — age tracking and erosion execution.
 """
 
@@ -16,13 +18,33 @@ from repro.storage.disk import DiskModel, DEFAULT_DISK
 from repro.storage.kvstore import KVStore
 from repro.storage.lifespan import AgeTracker, apply_erosion_step
 from repro.storage.segment_store import SegmentStore, StoredSegment
+from repro.storage.sharding import (
+    HashPlacement,
+    LocalityAwarePlacement,
+    PLACEMENTS,
+    PlacementPolicy,
+    RebalanceReport,
+    RoundRobinPlacement,
+    ShardedDiskArray,
+    placement_named,
+    plan_rebalance,
+)
 
 __all__ = [
     "AgeTracker",
     "apply_erosion_step",
     "DEFAULT_DISK",
     "DiskModel",
+    "HashPlacement",
     "KVStore",
+    "LocalityAwarePlacement",
+    "PLACEMENTS",
+    "PlacementPolicy",
+    "RebalanceReport",
+    "RoundRobinPlacement",
     "SegmentStore",
+    "ShardedDiskArray",
     "StoredSegment",
+    "placement_named",
+    "plan_rebalance",
 ]

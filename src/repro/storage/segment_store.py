@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import quote, unquote
 
 from repro.codec.encoder import EncodedSegment
 from repro.errors import StorageError
 from repro.storage.disk import DiskModel, DEFAULT_DISK
 from repro.storage.kvstore import KVStore
+from repro.storage.sharding import RebalanceReport, ShardedDiskArray, plan_rebalance
 from repro.video.coding import Coding
 from repro.video.fidelity import Fidelity
 from repro.video.format import StorageFormat
@@ -37,6 +38,7 @@ class StoredSegment:
     activity: float
     seconds: float
     has_payload: bool
+    shard: int = 0  # disk shard holding the segment (0 on unsharded stores)
 
     @property
     def segment(self) -> Segment:
@@ -88,9 +90,15 @@ class SegmentStore:
     erosion can never leave stale cache state behind.
     """
 
-    def __init__(self, kv: KVStore, disk: DiskModel = DEFAULT_DISK):
+    def __init__(self, kv: KVStore,
+                 disk: Union[DiskModel, ShardedDiskArray] = DEFAULT_DISK):
         self.kv = kv
         self.disk = disk
+        #: The sharded storage plane, when one backs this store.  A plain
+        #: DiskModel keeps the pre-sharding single-spindle behavior.
+        self.array: Optional[ShardedDiskArray] = (
+            disk if isinstance(disk, ShardedDiskArray) else None
+        )
         self.cache = None  # Optional[repro.cache.plane.CachePlane]
         self._footprint: Dict[Tuple[str, str], int] = {}
         self._count: Dict[Tuple[str, str], int] = {}
@@ -120,17 +128,27 @@ class SegmentStore:
 
     def _load_footprints(self) -> None:
         for key in self.kv.keys():
-            stream, fmt_text, _ = self._split_key(key)
+            stream, fmt_text, index = self._split_key(key)
             meta = self._read_meta(key)
             bucket = (stream, fmt_text)
             self._footprint[bucket] = (
                 self._footprint.get(bucket, 0) + meta["size_bytes"]
             )
             self._count[bucket] = self._count.get(bucket, 0) + 1
+            if self.array is not None:
+                # Restore the persisted placement (pre-sharding stores
+                # carry no shard field: everything lived on shard 0).
+                self.array.adopt(stream, fmt_text, index,
+                                 meta.get("shard", 0), meta["size_bytes"])
+
+    @staticmethod
+    def _key_text(stream: str, fmt_text: str, index: int) -> str:
+        """Assemble a key from an already-escaped format text."""
+        return f"{stream}/{fmt_text}/{index:012d}"
 
     @staticmethod
     def _key(stream: str, fmt: StorageFormat, index: int) -> str:
-        return f"{stream}/{_fmt_key(fmt)}/{index:012d}"
+        return SegmentStore._key_text(stream, _fmt_key(fmt), index)
 
     @staticmethod
     def _split_key(key: str) -> Tuple[str, str, int]:
@@ -145,21 +163,36 @@ class SegmentStore:
     # -- writes -----------------------------------------------------------------
 
     def put(self, encoded: EncodedSegment) -> None:
-        """Store an encoded segment (metadata + optional payload)."""
+        """Store an encoded segment (metadata + optional payload).
+
+        On a sharded store the placement policy assigns (or re-finds) the
+        segment's shard; the write is charged to that shard and the shard
+        id is persisted in the metadata record so placement survives
+        reopen.
+        """
+        stream, index = encoded.segment.stream, encoded.segment.index
+        shard = 0
+        if self.array is not None:
+            shard = self.array.place(stream, _fmt_key(encoded.fmt), index,
+                                     encoded.size_bytes, encoded.activity)
         meta = {
             "size_bytes": encoded.size_bytes,
             "n_frames": encoded.n_frames,
             "activity": encoded.activity,
             "seconds": encoded.segment.seconds,
             "payload": encoded.payload is not None,
+            "shard": shard,
         }
         blob = json.dumps(meta).encode("utf-8") + _SEPARATOR
         if encoded.payload is not None:
             blob += encoded.payload
-        key = self._key(encoded.segment.stream, encoded.fmt, encoded.segment.index)
+        key = self._key(stream, encoded.fmt, index)
         existed = key in self.kv
         self.kv.put(key, blob)
-        self.disk.write(encoded.size_bytes)
+        if self.array is not None:
+            self.array.write_at(shard, encoded.size_bytes)
+        else:
+            self.disk.write(encoded.size_bytes)
         self._invalidate_cache(encoded.segment.stream, encoded.segment.index)
         bucket = (encoded.segment.stream, _fmt_key(encoded.fmt))
         if existed:
@@ -178,16 +211,44 @@ class SegmentStore:
 
     # -- reads ------------------------------------------------------------------
 
+    def _require(self, stream: str, fmt: StorageFormat, index: int) -> str:
+        """The segment's key, or a StorageError naming what is missing.
+
+        Guards every point lookup so a missing segment surfaces as a
+        store-level error naming (stream, format, index) instead of
+        leaking the KV backend's raw-key error.
+        """
+        key = self._key(stream, fmt, index)
+        if key not in self.kv:
+            raise StorageError(
+                f"no stored segment: stream={stream!r} "
+                f"format={fmt.label!r} index={index}"
+            )
+        return key
+
     def get(self, stream: str, fmt: StorageFormat, index: int) -> StoredSegment:
-        """Fetch one segment's metadata, charging the disk for its bytes."""
+        """Fetch one segment's metadata, charging its shard for the bytes."""
         meta = self.meta(stream, fmt, index)
-        self.disk.read(meta.size_bytes)
+        if self.array is not None:
+            self.array.read_at(meta.shard, meta.size_bytes)
+        else:
+            self.disk.read(meta.size_bytes)
         return meta
 
     def meta(self, stream: str, fmt: StorageFormat, index: int) -> StoredSegment:
-        """Fetch one segment's metadata without charging any disk time."""
-        key = self._key(stream, fmt, index)
+        """Fetch one segment's metadata without charging any disk time.
+
+        On a sharded store the reported shard is the array's *effective*
+        assignment, not the raw persisted field — a store written on a
+        wider array folds onto the current shard count at open, and the
+        metadata record may still carry the out-of-range original.
+        """
+        key = self._require(stream, fmt, index)
         meta = self._read_meta(key)
+        if self.array is not None:
+            shard = self.shard_of(stream, fmt, index)
+        else:
+            shard = meta.get("shard", 0)
         return StoredSegment(
             stream=stream,
             index=index,
@@ -197,6 +258,7 @@ class SegmentStore:
             activity=meta["activity"],
             seconds=meta["seconds"],
             has_payload=meta["payload"],
+            shard=shard,
         )
 
     def contains(self, stream: str, fmt: StorageFormat, index: int) -> bool:
@@ -204,7 +266,7 @@ class SegmentStore:
 
     def payload(self, stream: str, fmt: StorageFormat, index: int) -> Optional[bytes]:
         """The raw payload bytes of a materialized segment, if present."""
-        blob = self.kv.get(self._key(stream, fmt, index))
+        blob = self.kv.get(self._require(stream, fmt, index))
         _, _, body = blob.partition(_SEPARATOR)
         return body or None
 
@@ -230,10 +292,19 @@ class SegmentStore:
             return False
         size = self._read_meta(key)["size_bytes"]
         self.kv.delete(key)
+        if self.array is not None:
+            self.array.forget(stream, _fmt_key(fmt), index)
         self._invalidate_cache(stream, index)
         bucket = (stream, _fmt_key(fmt))
-        self._footprint[bucket] = self._footprint.get(bucket, 0) - size
-        self._count[bucket] = self._count.get(bucket, 0) - 1
+        remaining = self._count.get(bucket, 0) - 1
+        if remaining <= 0:
+            # Prune the emptied bucket: a long-lived store aging footage
+            # away must not accumulate zero-byte accounting entries.
+            self._footprint.pop(bucket, None)
+            self._count.pop(bucket, None)
+        else:
+            self._footprint[bucket] = self._footprint.get(bucket, 0) - size
+            self._count[bucket] = remaining
         return True
 
     # -- accounting -------------------------------------------------------------------
@@ -252,3 +323,63 @@ class SegmentStore:
     def total_bytes(self) -> int:
         """Stored bytes across all streams and formats."""
         return sum(self._footprint.values())
+
+    # -- sharding ---------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return 1 if self.array is None else self.array.n_shards
+
+    def shard_of(self, stream: str, fmt: StorageFormat, index: int) -> int:
+        """The shard a segment's bytes live on (0 on unsharded stores)."""
+        if self.array is None:
+            return 0
+        shard = self.array.locate(stream, _fmt_key(fmt), index)
+        return 0 if shard is None else shard
+
+    def disk_params_for(self, stream: str, fmt: StorageFormat,
+                        index: int) -> Tuple[float, float]:
+        """(read bandwidth, request overhead) serving one segment's reads."""
+        if self.array is not None:
+            disk = self.array.shard(self.shard_of(stream, fmt, index))
+            return disk.read_bandwidth, disk.request_overhead
+        return self.disk.read_bandwidth, self.disk.request_overhead
+
+    def rebalance(self) -> RebalanceReport:
+        """Move segments between shards until byte loads are balanced.
+
+        Applies the greedy plan of
+        :func:`~repro.storage.sharding.plan_rebalance`: each move charges
+        the migration I/O (source read + destination write) to the clock
+        and rewrites the segment's metadata record with its new shard, so
+        the placement survives reopen.  Cached decoded frames and results
+        stay valid — the bytes did not change, only their spindle.
+
+        No-op (empty report) on unsharded and single-shard stores.
+        """
+        if self.array is None or self.array.n_shards <= 1:
+            return RebalanceReport(
+                moves=0, bytes_moved=0.0, seconds=0.0,
+                imbalance_before=0.0, imbalance_after=0.0,
+            )
+        array = self.array
+        before = array.byte_imbalance
+        moves = plan_rebalance(array.assignments(), array.n_shards)
+        seconds = 0.0
+        bytes_moved = 0.0
+        for (stream, fmt_text, index), src, dst in moves:
+            key = self._key_text(stream, fmt_text, index)
+            blob = self.kv.get(key)
+            head, _, body = blob.partition(_SEPARATOR)
+            meta = json.loads(head.decode("utf-8"))
+            nbytes = meta["size_bytes"]
+            seconds += array.migrate(src, dst, nbytes)
+            array.reassign(stream, fmt_text, index, dst)
+            meta["shard"] = dst
+            self.kv.put(key, json.dumps(meta).encode("utf-8")
+                        + _SEPARATOR + body)
+            bytes_moved += nbytes
+        return RebalanceReport(
+            moves=len(moves), bytes_moved=bytes_moved, seconds=seconds,
+            imbalance_before=before, imbalance_after=array.byte_imbalance,
+        )

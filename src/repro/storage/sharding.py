@@ -1,0 +1,502 @@
+"""Sharded multi-disk storage plane (Section 2.2, scaled out).
+
+The paper's platform is an array of HDDs; the seed reproduction modeled it
+as one aggregate :class:`~repro.storage.disk.DiskModel`, so every
+concurrent retrieval and every tier migration serialized through a single
+bandwidth meter.  :class:`ShardedDiskArray` replaces that with N
+independent disk shards — each with its own bandwidth/overhead envelope,
+all charged to one shared :class:`~repro.clock.SimClock` — so the
+concurrent executor can overlap retrievals on different shards and the
+simulated wall-clock becomes the *max* over shards rather than the sum.
+
+Where a segment lands is decided by a pluggable :class:`PlacementPolicy`:
+
+* ``round-robin`` — each newly stored (stream, format, segment) key goes to
+  the next shard in rotation: per-key counts stay within one of each other;
+* ``hash`` — shard is a stable hash of (stream, segment index): fully
+  deterministic, independent of arrival order, and it co-locates all of a
+  segment's formats on one shard;
+* ``locality`` — co-locates a segment's formats and groups a stream's cold
+  segments on one shard (sequential scans stay sequential), while
+  high-activity ("hot") segments are spread to the least-loaded shard so
+  the busiest footage enjoys the most parallelism.
+
+The array is pure accounting: segment payloads still live in the KV
+backend; the :class:`~repro.storage.segment_store.SegmentStore` records
+each key's shard in its metadata record (so placement survives reopen) and
+charges reads/writes to the assigned shard through this class.
+
+A one-shard array is bit-identical to the pre-sharding single
+:class:`DiskModel` path — same float operations, same clock categories —
+which the parity tests enforce.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.clock import SimClock
+from repro.errors import StorageError
+from repro.storage.disk import DiskModel
+from repro.units import GB
+
+#: One placed key: (stream, format key text, segment index).
+ShardKey = Tuple[str, str, int]
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent string hash (Python's ``hash`` is salted)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+
+
+class PlacementPolicy:
+    """Chooses the shard a newly stored key lands on.
+
+    ``choose`` is consulted once per *new* key; the array records the
+    answer, so re-writes and reads always go back to the same shard.  A
+    policy may read the array's current load (``shard_bytes``,
+    ``segment_shard``) but must not mutate it.
+    """
+
+    name = "policy"
+
+    def choose(self, array: "ShardedDiskArray", stream: str, fmt_text: str,
+               index: int, nbytes: float, activity: float) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Each new key goes to the next shard in rotation.
+
+    Per-shard *key counts* never differ by more than one; byte imbalance
+    is bounded by the count imbalance times the largest segment size.
+    """
+
+    name = "round-robin"
+
+    def choose(self, array: "ShardedDiskArray", stream: str, fmt_text: str,
+               index: int, nbytes: float, activity: float) -> int:
+        return array.placements_made % array.n_shards
+
+
+class HashPlacement(PlacementPolicy):
+    """Shard = stable hash of (stream, segment index).
+
+    Independent of arrival order, and all formats of one segment land on
+    the same shard (the format is deliberately left out of the hash), so a
+    query that touches several formats of one segment stays local.
+    """
+
+    name = "hash"
+
+    def choose(self, array: "ShardedDiskArray", stream: str, fmt_text: str,
+               index: int, nbytes: float, activity: float) -> int:
+        return _stable_hash(f"{stream}\x00{index}") % array.n_shards
+
+
+class LocalityAwarePlacement(PlacementPolicy):
+    """Co-locate a segment's formats; spread hot segments by load.
+
+    The first format of a segment picks the shard, every later format
+    follows it.  High-activity segments (``activity >= hot_activity``) go
+    to the currently least-loaded shard — the busiest footage is spread for
+    parallelism, with the greedy guarantee that hot byte loads differ by at
+    most one segment.  Cold segments group by stream so sequential scans
+    of quiet footage stay on one spindle.
+    """
+
+    name = "locality"
+
+    def __init__(self, hot_activity: float = 0.5):
+        self.hot_activity = hot_activity
+
+    def choose(self, array: "ShardedDiskArray", stream: str, fmt_text: str,
+               index: int, nbytes: float, activity: float) -> int:
+        existing = array.segment_shard(stream, index)
+        if existing is not None:
+            return existing
+        if activity >= self.hot_activity:
+            loads = array.shard_bytes
+            return min(range(array.n_shards), key=lambda i: (loads[i], i))
+        return _stable_hash(stream) % array.n_shards
+
+
+#: Policy registry for the CLI and the VStore facade.
+PLACEMENTS = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    HashPlacement.name: HashPlacement,
+    LocalityAwarePlacement.name: LocalityAwarePlacement,
+}
+
+
+def placement_named(name: Union[str, PlacementPolicy]) -> PlacementPolicy:
+    """Resolve a policy instance from its registry name (or pass through)."""
+    if isinstance(name, PlacementPolicy):
+        return name
+    try:
+        return PLACEMENTS[name]()
+    except KeyError:
+        raise StorageError(
+            f"unknown placement policy {name!r}; "
+            f"known: {sorted(PLACEMENTS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# The sharded array
+# ---------------------------------------------------------------------------
+
+
+class ShardedDiskArray:
+    """N independent disk shards behind one placement map.
+
+    Duck-types the single :class:`DiskModel` (``read``/``write``/speed
+    estimates and the ``read_bandwidth``/``request_overhead`` attributes
+    delegate to shard 0), so every pre-sharding caller keeps working; the
+    sharding-aware paths use the keyed entry points (``place``/``locate``/
+    ``read_for``/``write_for``/``migrate``).
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        *,
+        placement: Union[str, PlacementPolicy] = "hash",
+        clock: Optional[SimClock] = None,
+        read_bandwidth: float = 1.0 * GB,
+        write_bandwidth: float = 0.8 * GB,
+        request_overhead: float = 0.1e-3,
+        disks: Optional[List[DiskModel]] = None,
+    ):
+        if disks is not None:
+            if not disks:
+                raise StorageError("need at least one disk shard")
+            self.clock = clock or disks[0].clock
+            self.disks = list(disks)
+            for disk in self.disks:
+                disk.clock = self.clock
+        else:
+            if shards < 1:
+                raise StorageError(f"need at least one disk shard: {shards}")
+            self.clock = clock or SimClock()
+            self.disks = [
+                DiskModel(
+                    read_bandwidth=read_bandwidth,
+                    write_bandwidth=write_bandwidth,
+                    request_overhead=request_overhead,
+                    clock=self.clock,
+                )
+                for _ in range(shards)
+            ]
+        self.placement = placement_named(placement)
+        # placement state
+        self._assignment: Dict[ShardKey, int] = {}
+        self._key_bytes: Dict[ShardKey, float] = {}
+        self._segment_shard: Dict[Tuple[str, int], int] = {}
+        self._segment_formats: Dict[Tuple[str, int], int] = {}
+        self._shard_bytes: List[float] = [0.0] * len(self.disks)
+        self._shard_keys: List[int] = [0] * len(self.disks)
+        self.placements_made = 0
+        self.folded_placements = 0  # adopted keys from a wider array
+        # per-shard accounting (simulated busy seconds)
+        self.busy_read_seconds: List[float] = [0.0] * len(self.disks)
+        self.busy_write_seconds: List[float] = [0.0] * len(self.disks)
+        self.busy_migrate_seconds: List[float] = [0.0] * len(self.disks)
+        self.migrations = 0
+        self.migrated_bytes = 0.0
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.disks)
+
+    def shard(self, i: int) -> DiskModel:
+        return self.disks[i]
+
+    @property
+    def shard_bytes(self) -> List[float]:
+        """Stored bytes per shard (a copy; policies may read it)."""
+        return list(self._shard_bytes)
+
+    @property
+    def shard_keys(self) -> List[int]:
+        """Stored keys per shard (a copy)."""
+        return list(self._shard_keys)
+
+    # -- DiskModel compatibility (shard 0) ---------------------------------
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.disks[0].read_bandwidth
+
+    @property
+    def write_bandwidth(self) -> float:
+        return self.disks[0].write_bandwidth
+
+    @property
+    def request_overhead(self) -> float:
+        return self.disks[0].request_overhead
+
+    def read(self, n_bytes: float, requests: int = 1) -> float:
+        return self.read_at(0, n_bytes, requests)
+
+    def write(self, n_bytes: float, requests: int = 1) -> float:
+        return self.write_at(0, n_bytes, requests)
+
+    def sequential_read_speed(self, bytes_per_video_second: float) -> float:
+        return self.disks[0].sequential_read_speed(bytes_per_video_second)
+
+    def raw_read_speed(self, stored, frame_bytes, consumer_sampling=None):
+        return self.disks[0].raw_read_speed(stored, frame_bytes,
+                                            consumer_sampling)
+
+    # -- charged per-shard operations --------------------------------------
+
+    def read_at(self, shard: int, n_bytes: float, requests: int = 1) -> float:
+        """Charge a read against one shard (clock category ``"disk"``)."""
+        seconds = self.disks[shard].read(n_bytes, requests)
+        self.busy_read_seconds[shard] += seconds
+        return seconds
+
+    def write_at(self, shard: int, n_bytes: float, requests: int = 1) -> float:
+        """Charge a write against one shard (clock category ``"disk"``)."""
+        seconds = self.disks[shard].write(n_bytes, requests)
+        self.busy_write_seconds[shard] += seconds
+        return seconds
+
+    def migrate(self, src: int, dst: int, n_bytes: float,
+                requests: int = 1, category: str = "migrate") -> float:
+        """Charge moving bytes shard-to-shard: read source, write destination.
+
+        The I/O is charged to *both* sides — the source's read and the
+        destination's write each occupy their spindle — and the clock
+        advances by the sum (the move is not pipelined).
+        """
+        if n_bytes < 0:
+            raise StorageError(f"cannot migrate negative bytes: {n_bytes}")
+        source, dest = self.disks[src], self.disks[dst]
+        read_seconds = (n_bytes / source.read_bandwidth
+                        + requests * source.request_overhead)
+        write_seconds = (n_bytes / dest.write_bandwidth
+                         + requests * dest.request_overhead)
+        self.clock.charge(read_seconds + write_seconds, category)
+        self.busy_migrate_seconds[src] += read_seconds
+        self.busy_migrate_seconds[dst] += write_seconds
+        self.migrations += 1
+        self.migrated_bytes += n_bytes
+        return read_seconds + write_seconds
+
+    def note_slow_io(self, stream: str, index: int, seconds: float) -> None:
+        """Attribute externally charged slow-tier I/O (tier promotion or
+        demotion) to the shard serving a segment, for utilization reports."""
+        shard = self.segment_shard(stream, index) or 0
+        self.busy_migrate_seconds[shard] += seconds
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, stream: str, fmt_text: str, index: int,
+              nbytes: float, activity: float = 0.0) -> int:
+        """Assign (or re-find) the shard of a key; records the bytes.
+
+        A key already placed keeps its shard — only its byte accounting is
+        refreshed (an overwrite may change the segment's size).
+        """
+        key = (stream, fmt_text, index)
+        shard = self._assignment.get(key)
+        if shard is not None:
+            old = self._key_bytes[key]
+            self._shard_bytes[shard] += nbytes - old
+            self._key_bytes[key] = nbytes
+            return shard
+        shard = self.placement.choose(self, stream, fmt_text, index,
+                                      nbytes, activity)
+        if not 0 <= shard < self.n_shards:
+            raise StorageError(
+                f"placement {self.placement.name!r} chose shard {shard} "
+                f"outside [0, {self.n_shards})"
+            )
+        self._record(key, shard, nbytes)
+        self.placements_made += 1
+        return shard
+
+    def adopt(self, stream: str, fmt_text: str, index: int,
+              shard: int, nbytes: float) -> int:
+        """Restore a persisted placement at store open.
+
+        A store written on a wider array is folded onto this one
+        (``shard % n_shards``), counted in ``folded_placements`` so an
+        operator can see that a rebalance (or a wider reopen) is due.
+        """
+        if shard >= self.n_shards or shard < 0:
+            shard = shard % self.n_shards
+            self.folded_placements += 1
+        self._record((stream, fmt_text, index), shard, nbytes)
+        self.placements_made += 1
+        return shard
+
+    def _record(self, key: ShardKey, shard: int, nbytes: float) -> None:
+        self._assignment[key] = shard
+        self._key_bytes[key] = nbytes
+        self._shard_bytes[shard] += nbytes
+        self._shard_keys[shard] += 1
+        seg = (key[0], key[2])
+        self._segment_shard.setdefault(seg, shard)
+        self._segment_formats[seg] = self._segment_formats.get(seg, 0) + 1
+
+    def locate(self, stream: str, fmt_text: str, index: int) -> Optional[int]:
+        """The shard a key was placed on, or None when never placed."""
+        return self._assignment.get((stream, fmt_text, index))
+
+    def forget(self, stream: str, fmt_text: str, index: int) -> Optional[int]:
+        """Drop a key's placement (the segment was deleted)."""
+        key = (stream, fmt_text, index)
+        shard = self._assignment.pop(key, None)
+        if shard is None:
+            return None
+        nbytes = self._key_bytes.pop(key)
+        self._shard_bytes[shard] -= nbytes
+        self._shard_keys[shard] -= 1
+        seg = (key[0], key[2])
+        remaining = self._segment_formats.get(seg, 1) - 1
+        if remaining <= 0:
+            self._segment_formats.pop(seg, None)
+            self._segment_shard.pop(seg, None)
+        else:
+            self._segment_formats[seg] = remaining
+        return shard
+
+    def reassign(self, stream: str, fmt_text: str, index: int,
+                 dst: int) -> int:
+        """Move a key's placement to another shard (rebalance bookkeeping).
+
+        Charges nothing: the caller is responsible for the migration I/O
+        (see :meth:`migrate`).
+        """
+        key = (stream, fmt_text, index)
+        src = self._assignment.get(key)
+        if src is None:
+            raise StorageError(f"cannot reassign unplaced key {key!r}")
+        if not 0 <= dst < self.n_shards:
+            raise StorageError(f"no such shard: {dst}")
+        if dst == src:
+            return src
+        nbytes = self._key_bytes[key]
+        self._shard_bytes[src] -= nbytes
+        self._shard_keys[src] -= 1
+        self._shard_bytes[dst] += nbytes
+        self._shard_keys[dst] += 1
+        self._assignment[key] = dst
+        seg = (key[0], key[2])
+        if self._segment_shard.get(seg) == src:
+            self._segment_shard[seg] = dst
+        return src
+
+    # -- segment-granularity views (tiering, locality) ---------------------
+
+    def segment_shard(self, stream: str, index: int) -> Optional[int]:
+        """The shard a segment's formats were first placed on."""
+        return self._segment_shard.get((stream, index))
+
+    def segment_disk(self, stream: str, index: int) -> DiskModel:
+        """The disk model serving a segment's slow-tier I/O."""
+        return self.disks[self.segment_shard(stream, index) or 0]
+
+    def assignments(self) -> Dict[ShardKey, Tuple[int, float]]:
+        """Snapshot of every placed key: key -> (shard, bytes)."""
+        return {
+            key: (shard, self._key_bytes[key])
+            for key, shard in self._assignment.items()
+        }
+
+    # -- balance metrics ---------------------------------------------------
+
+    @property
+    def byte_imbalance(self) -> float:
+        """Max-minus-min stored bytes across shards (0 = perfectly even)."""
+        if self.n_shards <= 1:
+            return 0.0
+        return max(self._shard_bytes) - min(self._shard_bytes)
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Max shard load over the mean (1.0 = perfectly even)."""
+        total = sum(self._shard_bytes)
+        if total <= 0:
+            return 1.0
+        return max(self._shard_bytes) / (total / self.n_shards)
+
+
+# ---------------------------------------------------------------------------
+# Rebalancing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one :meth:`SegmentStore.rebalance` round."""
+
+    moves: int
+    bytes_moved: float
+    seconds: float  # migration I/O charged to the clock
+    imbalance_before: float  # max-min shard bytes before
+    imbalance_after: float
+
+
+def plan_rebalance(
+    assignments: Dict[ShardKey, Tuple[int, float]],
+    n_shards: int,
+) -> List[Tuple[ShardKey, int, int]]:
+    """Plan the moves that restore byte balance; pure, no I/O.
+
+    Greedy: repeatedly move the largest key that fits strictly inside the
+    current max-min load gap from the fullest shard to the emptiest one.
+    Every such move strictly decreases the sum of squared shard loads, so
+    the loop terminates; it stops when no key on the fullest shard is
+    smaller than the gap — at which point the residual imbalance is below
+    the largest single key, the best any per-key mover can guarantee.
+
+    Returns ``(key, src, dst)`` moves in application order.  The plan
+    conserves keys and bytes by construction: it only ever relabels a
+    key's shard, never drops or duplicates one.
+    """
+    if n_shards < 1:
+        raise StorageError(f"need at least one shard: {n_shards}")
+    loads = [0.0] * n_shards
+    by_shard: Dict[int, Dict[ShardKey, float]] = {i: {} for i in range(n_shards)}
+    for key, (shard, nbytes) in assignments.items():
+        if not 0 <= shard < n_shards:
+            raise StorageError(f"key {key!r} on unknown shard {shard}")
+        loads[shard] += nbytes
+        by_shard[shard][key] = nbytes
+    moves: List[Tuple[ShardKey, int, int]] = []
+    if n_shards == 1:
+        return moves
+    while True:
+        src = max(range(n_shards), key=lambda i: (loads[i], i))
+        dst = min(range(n_shards), key=lambda i: (loads[i], i))
+        gap = loads[src] - loads[dst]
+        if gap <= 0:
+            break
+        # Largest key strictly smaller than the gap; ties break on the
+        # sorted key so the plan is deterministic.
+        candidates = [
+            (nbytes, key) for key, nbytes in by_shard[src].items()
+            if 0 < nbytes < gap
+        ]
+        if not candidates:
+            break
+        nbytes, key = max(candidates, key=lambda c: (c[0], c[1]))
+        del by_shard[src][key]
+        by_shard[dst][key] = nbytes
+        loads[src] -= nbytes
+        loads[dst] += nbytes
+        moves.append((key, src, dst))
+    return moves

@@ -9,6 +9,16 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import derive_configuration
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace files under tests/golden/ from the "
+             "current scheduler behavior instead of comparing against them",
+    )
 from repro.operators.library import default_library
 from repro.profiler.coding_profiler import CodingProfiler
 from repro.profiler.profiler import OperatorProfiler

@@ -120,6 +120,56 @@ def test_overwrite_does_not_double_count(store):
     assert store.segment_count("cam", FMT_A) == 1
 
 
+class TestMissingSegmentErrors:
+    """Point lookups on absent segments raise a StorageError that names
+    (stream, format, index) — never the KV backend's raw-key error."""
+
+    @pytest.mark.parametrize("lookup", ["meta", "get", "payload"])
+    def test_missing_segment_names_the_lookup(self, store, lookup):
+        with pytest.raises(StorageError) as err:
+            getattr(store, lookup)("nocam", FMT_A, 17)
+        message = str(err.value)
+        assert "nocam" in message
+        assert FMT_A.label in message
+        assert "17" in message
+        assert "key not found" not in message  # the backend error text
+
+    def test_missing_index_of_present_format_also_named(self, store):
+        store.put(_encode(FMT_A, 0))
+        with pytest.raises(StorageError) as err:
+            store.meta("cam", FMT_A, 5)
+        assert "index=5" in str(err.value)
+
+
+class TestBucketPruning:
+    """Deleting the last segment of a (stream, format) removes its
+    accounting bucket instead of leaving a zero-byte entry behind."""
+
+    def test_delete_prunes_empty_buckets(self, store):
+        store.put(_encode(FMT_A, 0))
+        store.put(_encode(FMT_A, 1))
+        store.put(_encode(FMT_B, 0))
+        store.delete("cam", FMT_A, 0)
+        assert len(store._footprint) == 2  # bucket still half full
+        store.delete("cam", FMT_A, 1)
+        assert len(store._footprint) == 1  # FMT_A bucket gone, not zeroed
+        assert len(store._count) == 1
+        assert store.footprint("cam", FMT_A) == 0
+        assert store.segment_count("cam", FMT_A) == 0
+        store.delete("cam", FMT_B, 0)
+        assert store._footprint == {}
+        assert store._count == {}
+        assert store.total_bytes() == 0
+
+    def test_reingest_after_prune_counts_fresh(self, store):
+        e = _encode(FMT_A, 0)
+        store.put(e)
+        store.delete("cam", FMT_A, 0)
+        store.put(e)
+        assert store.footprint("cam", FMT_A) == e.size_bytes
+        assert store.segment_count("cam", FMT_A) == 1
+
+
 class TestFormatKeyRoundtrip:
     """The _fmt_key/_parse_fmt encoding must roundtrip every format."""
 
