@@ -55,6 +55,16 @@ class ConcurrencyReport:
     makespan: float
     rows: Tuple[QueryLatencyRow, ...]
     utilization: Dict[str, Optional[float]]  # per resource; None = unbounded
+    core: str = "heap"  # executor core that produced the run
+    events: int = 0  # task start/finish events processed
+    wall_seconds: float = 0.0  # real seconds the executor core spent
+
+    @property
+    def events_per_second(self) -> float:
+        """Real-time scheduling throughput of the executor core."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
 
     @property
     def mean_latency(self) -> float:
@@ -110,6 +120,9 @@ def concurrency_report(
         makespan=stats.makespan,
         rows=rows,
         utilization=utilization,
+        core=stats.core,
+        events=stats.events,
+        wall_seconds=stats.wall_seconds,
     )
 
 
@@ -138,4 +151,10 @@ def format_concurrency_table(report: ConcurrencyReport) -> str:
         f"mean slowdown {report.mean_slowdown:.2f}x, fairness (Jain) "
         f"{report.fairness:.3f}, utilization: {util}"
     )
+    if report.events:
+        lines.append(
+            f"executor [{report.core}]: {report.events} events in "
+            f"{report.wall_seconds:.3f}s real "
+            f"({report.events_per_second:,.0f} events/s)"
+        )
     return "\n".join(lines)

@@ -121,6 +121,9 @@ class CacheStats:
     single_flight_hits: int  # retrievals deduplicated onto an in-flight one
     single_flight_seconds_saved: float
     tiering: Optional[TieringStats]
+    #: Dependency-blocked tasks released through the executor's event
+    #: queue (0 under the reference rescan core).
+    single_flight_wakeups: int = 0
 
     @property
     def seconds_saved(self) -> float:
@@ -158,6 +161,7 @@ class CachePlane:
         )
         self.single_flight_hits = 0
         self.single_flight_seconds_saved = 0.0
+        self.single_flight_wakeups = 0
 
     # -- cost model --------------------------------------------------------
 
@@ -240,6 +244,18 @@ class CachePlane:
         self.single_flight_hits += 1
         self.single_flight_seconds_saved += access.saved_seconds
 
+    def note_wakeups(self, count: int) -> None:
+        """Dependency-blocked tasks were woken through the event queue.
+
+        The heap executor core wakes single-flight followers (and
+        deduplicated consumes) by decrementing dependency counters when
+        their leader completes — no rescan ever rediscovers them.  This
+        counter makes that path observable: it tracks how many blocked
+        tasks were released event-driven, which the reference (rescan)
+        core leaves at zero.
+        """
+        self.single_flight_wakeups += count
+
     def dedup_consume(self, saved_seconds: float, count: int = 1) -> None:
         """Stage segment consumes deduplicated onto in-flight producers."""
         self.single_flight_hits += count
@@ -301,4 +317,5 @@ class CachePlane:
             single_flight_hits=self.single_flight_hits,
             single_flight_seconds_saved=self.single_flight_seconds_saved,
             tiering=tiering,
+            single_flight_wakeups=self.single_flight_wakeups,
         )

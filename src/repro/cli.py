@@ -150,7 +150,7 @@ def cmd_execute(args: argparse.Namespace) -> int:
         for run in range(max(1, args.repeat)):
             result = store.execute(args.query, dataset=args.dataset,
                                    accuracy=args.accuracy,
-                                   t0=args.t0, t1=args.t1)
+                                   t0=args.t0, t1=args.t1, core=args.core)
             tag = "" if args.repeat <= 1 else f" (run {run + 1})"
             print(f"executed query {result.query} over "
                   f"{result.video_seconds:.0f}s of {args.dataset}: "
@@ -229,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1,
                    help="run the query this many times (shows warm-cache "
                         "speedup with --cache-mb)")
+    p.add_argument("--core", choices=("heap", "reference"), default="heap",
+                   help="executor core: the O(log n) event-heap engine "
+                        "(default) or the legacy reference loop — results "
+                        "are bit-identical, only wall-clock differs")
     p.set_defaults(func=cmd_execute)
 
     p = sub.add_parser("datasets", help="list the benchmark streams")

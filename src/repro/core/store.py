@@ -200,13 +200,18 @@ class VStore:
         )
 
     def execute(self, query: str, dataset: str, accuracy: float,
-                t0: float, t1: float) -> ExecutionResult:
-        """Actually run a query over stored segments."""
+                t0: float, t1: float, core: str = "heap") -> ExecutionResult:
+        """Actually run a query over stored segments.
+
+        ``core`` picks the executor engine: the O(log n) ``"heap"`` event
+        loop (default) or the legacy ``"reference"`` rescan loop — the
+        two produce bit-identical results.
+        """
         self._check_open()
         if self.segments is None:
             raise QueryError("execution requires a workdir-backed store")
         return self.engine(dataset).execute(
-            cascade_for(query), accuracy, self.segments, t0, t1
+            cascade_for(query), accuracy, self.segments, t0, t1, core=core
         )
 
     # -- concurrent queries ---------------------------------------------------------

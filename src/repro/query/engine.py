@@ -245,8 +245,19 @@ class QueryEngine:
             result_keys: List[Optional[tuple]] = []
             result_nbytes: List[float] = []  # output bytes, for commits
             result_hits: List[tuple] = []  # (key, saved seconds) per hit
-            for segment in active:
-                retrieved, access = reader.assess_cached(stream, segment.index)
+            # One vectorized pass builds the whole stage's retrieval costs
+            # and consume-cost array (bit-identical to the scalar loop);
+            # only the stochastic operator outputs stay per-segment.
+            assessed = reader.assess_cached_many(
+                stream, [segment.index for segment in active]
+            )
+            base_costs = (
+                op.cost_per_frame(fidelity)
+                * np.asarray([r.n_frames for r, _ in assessed],
+                             dtype=np.int64)
+            ).tolist()
+            for segment, (retrieved, access), cost in zip(
+                    active, assessed, base_costs):
                 clip = self._content.clip(segment.t0, segment.seconds)
                 rkey = None
                 if self.cache is not None:
@@ -256,7 +267,6 @@ class QueryEngine:
                     )
                 output = self._stage_output(op, name, clip, fidelity,
                                             segment.index, rkey)
-                cost = op.cost_per_frame(fidelity) * retrieved.n_frames
                 result_hit = False
                 if rkey is not None:
                     if self.cache.results.is_committed(rkey):
@@ -330,6 +340,7 @@ class QueryEngine:
             stream=stream,
             video_seconds=t1 - t0,
             stages=tuple(stages),
+            contexts=contexts,
         )
 
     def _stage_output(self, op, name: str, clip, fidelity: Fidelity,
@@ -363,6 +374,7 @@ class QueryEngine:
         clock: Optional[SimClock] = None,
         contexts: int = 1,
         stream: Optional[str] = None,
+        core: str = "heap",
     ) -> ExecutionResult:
         """Stream segments through retrieval into stochastic operator runs.
 
@@ -372,7 +384,9 @@ class QueryEngine:
         same costs in the same order as the sequential data path of
         Figure 1.  ``contexts`` > 1 scales consumption the way the paper's
         Section-5 scheduler does: segments are dispatched across that many
-        operator contexts and the stage pays the makespan.
+        operator contexts and the stage pays the makespan.  ``core``
+        selects the executor engine (``"heap"`` or the legacy
+        ``"reference"`` loop); the two are bit-identical.
         """
         from repro.query.scheduler import ConcurrentExecutor
 
@@ -385,6 +399,7 @@ class QueryEngine:
             clock=clock,
             engines={self.dataset: self},
             cache=self.cache,
+            core=core,
         )
         executor.admit(query, self.dataset, accuracy, t0, t1,
                        stream=stream, scheme=scheme, contexts=contexts)

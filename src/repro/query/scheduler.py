@@ -21,12 +21,19 @@ contending for the bounded pools.  With a single query and uncontended
 pools the event loop degenerates to charging each task's duration in
 order, which is exactly what the sequential ``QueryEngine.execute`` used to
 do — N=1 results are bit-identical by construction.
+
+Scheduling decisions run on the O(log n) event-heap core
+(:mod:`repro.query.eventloop`): per-resource ready heaps with lazy
+priority invalidation, a completion heap, and dependency counters.  The
+original rescan loop survives as ``core="reference"`` — the bit-identical
+parity oracle behind the golden-trace and Hypothesis tests.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.plane import CachePlane, RetrievalAccess
@@ -34,6 +41,12 @@ from repro.clock import SimClock
 from repro.codec.decoder import DecoderPool
 from repro.codec.model import CodecModel, DEFAULT_CODEC
 from repro.errors import QueryError
+from repro.query.eventloop import (
+    CompletionHeap,
+    DependencyTracker,
+    ReadyHeapIndex,
+    blocked_triples,
+)
 from repro.storage.disk import DiskBandwidthPool
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -92,6 +105,19 @@ def dispatch(segment_costs: Sequence[float], n_contexts: int) -> DispatchResult:
         raise QueryError(f"need at least one context: {n_contexts}")
     if any(c < 0 for c in segment_costs):
         raise QueryError("segment costs must be non-negative")
+    if n_contexts == 1:
+        # Degenerate fast path: one context accumulates every cost in
+        # order — the same left-to-right float additions as the general
+        # loop below, without the per-segment argmin.
+        total = 0.0
+        for cost in segment_costs:
+            total += cost
+        return DispatchResult(
+            n_contexts=1,
+            makespan=total,
+            loads=[total],
+            assignment=[0] * len(segment_costs),
+        )
     loads = [0.0] * n_contexts
     assignment: List[int] = []
     for cost in segment_costs:
@@ -184,15 +210,41 @@ class QueryPlan:
     stream: str
     video_seconds: float
     stages: Tuple[StagePlan, ...]
+    #: Operator contexts the stage consumes were dispatched across.  An
+    #: executor admitting this plan (``admit(plan=...)``) adopts it, so
+    #: the single-flight dedup re-dispatch and the gang sizes agree.
+    contexts: int = 1
 
     @property
-    def tasks(self) -> List[ResourceTask]:
-        return [t for stage in self.stages for t in stage.tasks]
+    def tasks(self) -> Tuple[ResourceTask, ...]:
+        """Flattened task chain, cached on first access.
+
+        Analysis code reads this per outcome row; re-flattening the stage
+        lists every time made plan access O(stages) per call.  The cache
+        is keyed on the identity of ``stages`` so the rare caller that
+        swaps the (frozen) field via ``object.__setattr__`` still gets a
+        fresh flattening.
+        """
+        cached = self.__dict__.get("_tasks")
+        if cached is not None and cached[0] is self.stages:
+            return cached[1]
+        flat = tuple(t for stage in self.stages for t in stage.tasks)
+        object.__setattr__(self, "_tasks", (self.stages, flat))
+        return flat
 
     @property
     def service_seconds(self) -> float:
-        """Serial time of the chain — the query's uncontended latency."""
-        return sum(t.duration for t in self.tasks)
+        """Serial time of the chain — the query's uncontended latency.
+
+        Cached like :attr:`tasks` (and invalidated the same way): slowdown
+        and fairness reports divide by this per query, per row.
+        """
+        cached = self.__dict__.get("_service")
+        if cached is not None and cached[0] is self.stages:
+            return cached[1]
+        total = sum(t.duration for t in self.tasks)
+        object.__setattr__(self, "_service", (self.stages, total))
+        return total
 
     @property
     def positives_per_stage(self) -> Dict[str, int]:
@@ -281,6 +333,10 @@ class QuerySession:
     waited_seconds: float = 0.0  # time spent queued for busy resources
     service_by_resource: Dict[str, float] = field(default_factory=dict)
     _cursor: int = 0  # index of the next task in the plan
+    #: Version stamp of this session's policy-relevant state; the executor
+    #: bumps it whenever attained service changes, so ready-heap entries
+    #: can detect a stale priority key (lazy invalidation).
+    prio_version: int = 0
 
     @property
     def label(self) -> str:
@@ -339,6 +395,16 @@ class ExecutorStats:
     makespan: float  # simulated wall time of the whole run
     capacities: Dict[str, Optional[int]]  # None = uncontended
     busy_seconds: Dict[str, float]  # unit-seconds of service per resource
+    core: str = "heap"  # executor core that produced the run
+    events: int = 0  # task start/finish events of the run
+    wall_seconds: float = 0.0  # real (host) seconds spent inside run()
+
+    @property
+    def events_per_second(self) -> float:
+        """Real-time event throughput of the executor core."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
 
     def utilization(self, resource: str) -> Optional[float]:
         """Busy fraction of a bounded pool over the run (None if unbounded)."""
@@ -357,6 +423,11 @@ class _Pool:
 
     def fits(self, units: int) -> bool:
         return self.capacity is None or self.in_use + units <= self.capacity
+
+    @property
+    def free(self) -> Optional[int]:
+        """Free units (``None`` = unbounded), for the ready-heap index."""
+        return None if self.capacity is None else self.capacity - self.in_use
 
     def clamp(self, units: int) -> int:
         return units if self.capacity is None else min(units, self.capacity)
@@ -446,7 +517,12 @@ class ConcurrentExecutor:
         clock: Optional[SimClock] = None,
         engines: Optional[Dict[str, "QueryEngine"]] = None,
         cache: Optional[CachePlane] = None,
+        core: str = "heap",
     ):
+        if core not in ("heap", "reference"):
+            raise QueryError(
+                f"unknown executor core {core!r}; known: heap, reference"
+            )
         self.config = config
         self.library = library
         self.store = store
@@ -454,19 +530,20 @@ class ConcurrentExecutor:
         self.policy = policy or FIFOPolicy()
         self.clock = clock or SimClock()
         self.cache = cache
+        #: Which event loop :meth:`run` uses: ``"heap"`` is the O(log n)
+        #: engine (:mod:`repro.query.eventloop`); ``"reference"`` keeps the
+        #: original rescan loop as the bit-identical parity oracle.
+        self.core = core
         # A sharded store gets one I/O channel pool per disk shard
         # (``disk_pool.channels`` counts channels *per shard*), so
         # retrievals on different shards genuinely overlap; a single-shard
         # store keeps the original one-pool layout and resource names.
+        # The array itself names its channel pools (``io_resources``) so
+        # the ready-heap index registers one heap per spindle.
         self._disk_shards = getattr(store.disk, "n_shards", 1)
         channels = disk_pool.channels if disk_pool else None
-        if self._disk_shards > 1:
-            disk_pools = {
-                f"disk:{i}": _Pool(f"disk:{i}", channels)
-                for i in range(self._disk_shards)
-            }
-        else:
-            disk_pools = {"disk": _Pool("disk", channels)}
+        io_names = getattr(store.disk, "io_resources", lambda: ["disk"])()
+        disk_pools = {name: _Pool(name, channels) for name in io_names}
         self._pools: Dict[str, _Pool] = {
             **disk_pools,
             "decoder": _Pool(
@@ -485,6 +562,7 @@ class ConcurrentExecutor:
         self._sessions: List[QuerySession] = []
         self._started_at: float = self.clock.now
         self._ran = False
+        self._wall_seconds = 0.0
         self._frame_followers: Dict[tuple, int] = {}
 
     # -- admission ---------------------------------------------------------
@@ -511,25 +589,60 @@ class ConcurrentExecutor:
         scheme: Optional["AlternativeScheme"] = None,
         contexts: int = 1,
         deadline: Optional[float] = None,
+        plan: Optional[QueryPlan] = None,
     ) -> QuerySession:
-        """Admit one query; its task chain is planned immediately."""
+        """Admit one query; its task chain is planned immediately.
+
+        Plans are timing-independent, so a fleet of identical queries may
+        pass a precomputed ``plan`` (from :meth:`QueryEngine.plan`) to
+        skip re-planning per admission — how the scale benchmarks admit
+        hundreds of queries without paying hundreds of planning passes.
+        A supplied plan must have been planned with gang sizes that fit
+        this executor's operator pool, and the session adopts the *plan's*
+        context count (the ``contexts`` argument is ignored): the
+        single-flight dedup re-dispatches remaining segment costs across
+        ``session.contexts``, so a mismatch would silently simulate a
+        different machine.
+        """
         if self._ran:
             raise QueryError("executor already ran; create a new one")
         if contexts <= 0:
             raise QueryError(f"need at least one context: {contexts}")
+        if plan is not None:
+            contexts = plan.contexts
         # A gang larger than the shared pool can never be granted; clamp so
         # the stage dispatch and the resource request agree.
         effective_contexts = self._pools["operators"].clamp(contexts)
-        plan = self._engine(dataset).plan(
-            query,
-            accuracy,
-            self.store,
-            t0,
-            t1,
-            stream=stream,
-            scheme=scheme,
-            contexts=effective_contexts,
-        )
+        if plan is not None and effective_contexts != plan.contexts:
+            # A clamped gang would re-dispatch deduplicated consumes over
+            # fewer contexts than the plan's durations assume — a silent
+            # simulation error, so refuse instead.
+            raise QueryError(
+                f"precomputed plan was dispatched over {plan.contexts} "
+                f"contexts but the operator pool clamps to "
+                f"{effective_contexts}; re-plan with fewer contexts"
+            )
+        if plan is None:
+            plan = self._engine(dataset).plan(
+                query,
+                accuracy,
+                self.store,
+                t0,
+                t1,
+                stream=stream,
+                scheme=scheme,
+                contexts=effective_contexts,
+            )
+        else:
+            for task in plan.tasks:
+                pool = self._pools.get(task.resource)
+                if (pool is not None and pool.capacity is not None
+                        and task.units > pool.capacity):
+                    raise QueryError(
+                        f"precomputed plan needs {task.units} units of "
+                        f"{task.resource!r} but the pool holds only "
+                        f"{pool.capacity}; re-plan with fewer contexts"
+                    )
         session = QuerySession(
             qid=len(self._sessions),
             query=query,
@@ -702,21 +815,160 @@ class ConcurrentExecutor:
     # -- the event loop ----------------------------------------------------
 
     def run(self) -> List[QueryOutcome]:
-        """Run all admitted queries to completion; returns them in admit order."""
+        """Run all admitted queries to completion; returns them in admit order.
+
+        Dispatches to the O(log n) event-heap core
+        (:mod:`repro.query.eventloop`) or, when constructed with
+        ``core="reference"``, to the original rescan loop — kept verbatim
+        as the parity oracle the golden-trace and Hypothesis tests replay
+        against.  Both cores are bit-identical in outcomes and traces.
+        """
         if self._ran:
             raise QueryError("executor already ran; create a new one")
         self._ran = True
         self._started_at = self.clock.now
         self.trace_events = []
-
-        waiting: List[_Waiting] = []
-        running: List[_Running] = []
-        completed: set = set()  # uids of finished runtime tasks
-        seq = 0
         # plan.tasks flattens the stage chains on every access; materialize
         # each chain once (applying the single-flight dedup when a cache
         # plane is attached) so the loop stays linear in the task count.
         chains = self._runtime_chains()
+        wall0 = perf_counter()
+        if self.core == "reference":
+            self._run_reference(chains)
+        else:
+            self._run_heap(chains)
+        self._wall_seconds = perf_counter() - wall0
+        # Close the cross-layer loop: after the run, migrate segments the
+        # access stats marked hot (the migration I/O is on the clock).
+        if self.cache is not None and self.cache.tiers is not None:
+            self.cache.sweep_tiers(self.clock, self.store.disk)
+        return [self._outcome(s) for s in self._sessions]
+
+    def _complete(self, done: _Running) -> None:
+        """Shared completion bookkeeping: clock, pool, service, trace.
+
+        Called by both cores with the same task in the same order, so the
+        float accumulation (and therefore every downstream number) is
+        identical between them.
+        """
+        # When the completing task started at the current instant (always
+        # true for a lone query), charge its exact duration so the N=1
+        # path accumulates the same floats as sequential execution.
+        if self.clock.now == done.start:
+            self.clock.charge(done.task.duration, done.task.category)
+        else:
+            self.clock.advance_to(done.end, done.task.category)
+        pool = self._pools[done.task.resource]
+        pool.in_use -= done.task.units
+        pool.busy_seconds += done.task.units * done.task.duration
+        session = done.session
+        service = session.service_by_resource
+        service[done.task.resource] = (
+            service.get(done.task.resource, 0.0) + done.task.duration
+        )
+        session.prio_version += 1  # attained service moved: stamp it
+        self._trace("finish", session, done.task, self.clock.now)
+        self._task_completed(done.task)
+
+    def _deadlock_error(self, blocked: List[_Waiting]) -> QueryError:
+        """Name the stuck work: every blocked (qid, resource, units) triple."""
+        triples = ", ".join(
+            f"(q{qid}, {resource}, {units})"
+            for qid, resource, units in blocked_triples(blocked)
+        )
+        return QueryError(
+            f"deadlock: {len(blocked)} waiting task(s) but nothing "
+            f"running; blocked (qid, resource, units): {triples}"
+        )
+
+    def _run_heap(self, chains: Dict[int, List[_RunTask]]) -> None:
+        """The event-heap core: every scheduling decision is O(log n).
+
+        Ready tasks live in per-resource heaps keyed by (policy priority,
+        seq) with lazy invalidation, completions in one (end, seq) heap,
+        and dependency counters wake single-flight followers through the
+        event queue — see :mod:`repro.query.eventloop` for the exact
+        equivalence argument against the reference loop.
+        """
+        policy = self.policy
+        pools = self._pools
+        ready = ReadyHeapIndex(
+            priority=lambda w: policy.priority(w.session, w.task, w.seq),
+            version=lambda w: w.session.prio_version,
+            free_units=lambda resource: pools[resource].free,
+        )
+        for name in pools:
+            ready.register(name)
+        deps = DependencyTracker(chains.values())
+        completions = CompletionHeap()
+        seq = 0
+
+        def submit_next(session: QuerySession) -> None:
+            nonlocal seq
+            tasks = chains[session.qid]
+            if session._cursor >= len(tasks):
+                session.finished_at = self.clock.now
+                return
+            task = tasks[session._cursor]
+            session._cursor += 1
+            w = _Waiting(session, task, seq, self.clock.now)
+            seq += 1
+            if deps.submit(w):
+                ready.push(task.resource, w)
+
+        def grant() -> None:
+            nonlocal seq
+            while True:
+                w = ready.pop_best()
+                if w is None:
+                    return
+                pool = pools[w.task.resource]
+                pool.in_use += w.task.units
+                now = self.clock.now
+                w.session.waited_seconds += now - w.since
+                completions.push(
+                    now + w.task.duration, seq,
+                    _Running(w.session, w.task, now, now + w.task.duration,
+                             seq),
+                )
+                self._trace("start", w.session, w.task, now)
+                seq += 1
+
+        for session in self._sessions:
+            submit_next(session)
+        grant()
+
+        while completions:
+            done = completions.pop()
+            self._complete(done)
+            released = deps.complete(done.task.uid)
+            if released:
+                # Single-flight followers (and deduplicated consumes) wake
+                # up here, through the event queue — never via a rescan.
+                if self.cache is not None:
+                    self.cache.note_wakeups(len(released))
+                for w in released:
+                    ready.push(w.task.resource, w)
+            ready.release(done.task.resource)
+            submit_next(done.session)
+            grant()
+
+        blocked = list(ready.pending()) + deps.parked()
+        if blocked:  # pragma: no cover - guarded by the acyclic dedup graph
+            raise self._deadlock_error(blocked)
+
+    def _run_reference(self, chains: Dict[int, List[_RunTask]]) -> None:
+        """The original O(n)-per-event rescan loop, kept verbatim.
+
+        This is the parity oracle: the golden traces were produced by this
+        loop, and the Hypothesis property replays random fleets through
+        both cores.  Do not optimize it — its value is that it stays
+        byte-for-byte what PR 2 shipped.
+        """
+        waiting: List[_Waiting] = []
+        running: List[_Running] = []
+        completed: set = set()  # uids of finished runtime tasks
+        seq = 0
 
         def submit_next(session: QuerySession) -> None:
             nonlocal seq
@@ -763,34 +1015,14 @@ class ConcurrentExecutor:
 
         while running:
             done = min(running, key=lambda r: (r.end, r.seq))
-            # When the completing task started at the current instant (always
-            # true for a lone query), charge its exact duration so the N=1
-            # path accumulates the same floats as sequential execution.
-            if self.clock.now == done.start:
-                self.clock.charge(done.task.duration, done.task.category)
-            else:
-                self.clock.advance_to(done.end, done.task.category)
             running.remove(done)
-            pool = self._pools[done.task.resource]
-            pool.in_use -= done.task.units
-            pool.busy_seconds += done.task.units * done.task.duration
-            service = done.session.service_by_resource
-            service[done.task.resource] = (
-                service.get(done.task.resource, 0.0) + done.task.duration
-            )
             completed.add(done.task.uid)
-            self._trace("finish", done.session, done.task, self.clock.now)
-            self._task_completed(done.task)
+            self._complete(done)
             submit_next(done.session)
             grant()
 
         if waiting:  # pragma: no cover - guarded by the acyclic dedup graph
-            raise QueryError("deadlock: waiting tasks but nothing running")
-        # Close the cross-layer loop: after the run, migrate segments the
-        # access stats marked hot (the migration I/O is on the clock).
-        if self.cache is not None and self.cache.tiers is not None:
-            self.cache.sweep_tiers(self.clock, self.store.disk)
-        return [self._outcome(s) for s in self._sessions]
+            raise self._deadlock_error(waiting)
 
     def _outcome(self, session: QuerySession) -> QueryOutcome:
         from repro.query.engine import ExecutionResult
@@ -820,4 +1052,7 @@ class ConcurrentExecutor:
             makespan=self.clock.now - self._started_at,
             capacities={name: p.capacity for name, p in self._pools.items()},
             busy_seconds={name: p.busy_seconds for name, p in self._pools.items()},
+            core=self.core,
+            events=len(self.trace_events),
+            wall_seconds=self._wall_seconds,
         )

@@ -10,7 +10,9 @@ simulated seconds spent — from which effective retrieval speed follows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cache.plane import CachePlane, RetrievalAccess
 from repro.clock import SimClock
@@ -106,6 +108,62 @@ class SegmentReader:
             retrieval_seconds=seconds,
         )
 
+    def assess_many(self, stream: str,
+                    indices: Sequence[int]) -> List[RetrievedClip]:
+        """Batch :meth:`assess`: one NumPy pass over per-segment arrays.
+
+        ``QueryEngine.plan`` assesses every active segment of a stage at
+        once; doing the cost arithmetic per segment in Python made plan
+        assembly a per-segment interpreter loop.  This builds the frame
+        counts and retrieval seconds as float64 arrays in one shot —
+        elementwise, with the exact operation order of the scalar path, so
+        the results are bit-identical (the parity test in
+        ``tests/test_retrieval.py`` holds it to that).
+        """
+        if not indices:
+            return []
+        stride = self.codec.consumer_stride(
+            self.fmt.fidelity, self.consumer_fidelity.sampling
+        )
+        metas = [self.store.meta(stream, self.fmt, i) for i in indices]
+        n_frames = np.asarray([m.n_frames for m in metas], dtype=np.int64)
+        if self.fmt.is_raw:
+            n_stored = np.maximum(1, n_frames)
+            consumed = -(-n_stored // stride)  # == len(range(0, n, stride))
+            frame_bytes = self.codec.raw_frame_bytes(self.fmt.fidelity)
+            params = [self._disk_params(stream, i) for i in indices]
+            bandwidth = np.asarray([p[0] for p in params])
+            overhead = np.asarray([p[1] for p in params])
+            scan = n_stored * frame_bytes / bandwidth + overhead
+            sparse = (consumed * frame_bytes / bandwidth
+                      + consumed * overhead)
+            seconds = np.minimum(scan, sparse)
+        else:
+            kf = self.fmt.coding.keyframe_interval
+            # decoded_frame_count is exact integer accounting; segments
+            # overwhelmingly share a frame count, so one evaluation per
+            # distinct count covers the whole batch.
+            per_count = {
+                n: decoded_frame_count(n, stride, kf)
+                for n in set(n_frames.tolist())
+            }
+            n_decoded = np.asarray(
+                [per_count[n] for n in n_frames.tolist()], dtype=np.int64
+            )
+            consumed = -(-n_frames // stride)
+            seconds = n_decoded * self.codec.decode_frame_seconds(
+                self.fmt.fidelity, self.fmt.coding
+            )
+        return [
+            RetrievedClip(
+                stored=meta,
+                consumer_fidelity=self.consumer_fidelity,
+                n_frames=n,
+                retrieval_seconds=s,
+            )
+            for meta, n, s in zip(metas, consumed.tolist(), seconds.tolist())
+        ]
+
     def _disk_params(self, stream: str, index: int) -> Tuple[float, float]:
         """(bandwidth, request overhead) serving this segment's raw reads.
 
@@ -134,7 +192,27 @@ class SegmentReader:
         — and deduplicate identical in-flight misses (single-flight).
         Without a cache plane this is exactly :meth:`assess`.
         """
-        retrieved = self.assess(stream, index)
+        return self._with_access(stream, index, self.assess(stream, index))
+
+    def assess_cached_many(
+        self, stream: str, indices: Sequence[int]
+    ) -> List[Tuple[RetrievedClip, Optional[RetrievalAccess]]]:
+        """Batch :meth:`assess_cached` on top of :meth:`assess_many`.
+
+        The cost arithmetic is the vectorized batch pass; the cache view
+        (key construction, side-effect-free peek) goes through the same
+        per-segment helper as the scalar path, so the two cannot drift.
+        """
+        clips = self.assess_many(stream, indices)
+        return [
+            self._with_access(stream, index, clip)
+            for index, clip in zip(indices, clips)
+        ]
+
+    def _with_access(
+        self, stream: str, index: int, retrieved: RetrievedClip
+    ) -> Tuple[RetrievedClip, Optional[RetrievalAccess]]:
+        """Attach the decoded-frame-cache view to one assessed clip."""
         if self.cache is None:
             return retrieved, None
         key = self.cache.frame_key(stream, index, self.fmt.label,

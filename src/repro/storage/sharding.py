@@ -221,6 +221,21 @@ class ShardedDiskArray:
     def shard(self, i: int) -> DiskModel:
         return self.disks[i]
 
+    def io_resources(self) -> List[str]:
+        """Executor resource names of this array's I/O channel pools.
+
+        The concurrent executor builds one bounded channel pool per name
+        and registers each with its ready-heap index
+        (:class:`~repro.query.eventloop.ReadyHeapIndex`), so retrievals
+        queued on different spindles wait in different heaps and overlap.
+        A one-shard array keeps the pre-sharding ``"disk"`` name so its
+        traces and stats stay bit-compatible with a plain
+        :class:`DiskModel`.
+        """
+        if self.n_shards > 1:
+            return [f"disk:{i}" for i in range(self.n_shards)]
+        return ["disk"]
+
     @property
     def shard_bytes(self) -> List[float]:
         """Stored bytes per shard (a copy; policies may read it)."""

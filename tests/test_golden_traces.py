@@ -43,13 +43,25 @@ POLICIES = {
 }
 
 
-@pytest.fixture(scope="module")
-def trace_store(tmp_path_factory):
-    """The fixed fleet every golden trace runs against."""
+#: Shard widths each policy's trace is pinned at: the single-disk layout
+#: (the PR 2 contract) and a genuinely sharded 4-spindle array whose
+#: per-shard channel pools give the trace ``disk:i`` resources.
+SHARD_WIDTHS = (1, 4)
+
+
+def _suffix(shards: int) -> str:
+    return "" if shards == 1 else f"_shards{shards}"
+
+
+@pytest.fixture(scope="module", params=SHARD_WIDTHS,
+                ids=lambda s: f"shards{s}")
+def trace_store(request, tmp_path_factory):
+    """The fixed fleet every golden trace runs against, per shard width."""
+    shards = request.param
     lib = default_library(names=("Diff", "S-NN", "NN", "Motion", "License",
                                  "OCR"))
-    with VStore(workdir=str(tmp_path_factory.mktemp("golden")),
-                library=lib) as store:
+    with VStore(workdir=str(tmp_path_factory.mktemp(f"golden{shards}")),
+                library=lib, shards=shards) as store:
         store.configure()
         store.ingest("jackson", n_segments=4)
         store.ingest("dashcam", n_segments=4)
@@ -67,13 +79,14 @@ def _round(value: float) -> float:
     return round(value, 9)
 
 
-def _run_trace(store, policy_name: str) -> dict:
+def _run_trace(store, policy_name: str, core: str = "heap") -> dict:
     """One canonical contended run; returns the JSON-ready payload."""
     ex = store.executor(
         policy=POLICIES[policy_name](),
         disk_pool=DiskBandwidthPool(1),
         decoder_pool=DecoderPool(1),
         operator_pool=OperatorContextPool(2),
+        core=core,
     )
     ex.admit(QUERY_A, "jackson", 0.9, 0.0, 16.0)
     ex.admit(QUERY_B, "dashcam", 0.9, 0.0, 16.0, deadline=3.0)
@@ -117,7 +130,8 @@ def _canonical_bytes(payload: dict) -> bytes:
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 def test_trace_matches_golden(trace_store, policy_name, request):
     data = _canonical_bytes(_run_trace(trace_store, policy_name))
-    path = GOLDEN_DIR / f"trace_{policy_name}.json"
+    path = (GOLDEN_DIR
+            / f"trace_{policy_name}{_suffix(trace_store.n_shards)}.json")
     if request.config.getoption("--update-golden"):
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_bytes(data)
@@ -159,3 +173,14 @@ def test_traces_differ_across_policies(trace_store):
               for name in POLICIES}
     assert traces["fifo"] != traces["fair"]
     assert traces["fifo"] != traces["edf"]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_heap_core_replays_reference_trace(trace_store, policy_name):
+    """The event-heap core and the legacy rescan loop must emit the very
+    same byte stream — the golden files pin one of them, this pins them
+    to each other on both shard widths."""
+    heap = _canonical_bytes(_run_trace(trace_store, policy_name, "heap"))
+    ref = _canonical_bytes(_run_trace(trace_store, policy_name,
+                                      "reference"))
+    assert heap == ref

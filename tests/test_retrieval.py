@@ -116,3 +116,62 @@ class TestReader:
                                clock=SimClock())
         with pytest.raises(StorageError):
             reader.read("cam", 99)
+
+
+class TestBatchAssessParity:
+    """The vectorized batch pass must be *bit-identical* to per-segment
+    assess — the planner's costs (and therefore the golden traces) ride
+    on it."""
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        kv = KVStore(str(tmp_path / "seg.log"))
+        store = SegmentStore(kv, DiskModel(clock=SimClock()))
+        enc = Encoder(clock=SimClock())
+        for fmt in (ENCODED, RAW_FMT):
+            for i in range(5):
+                store.put(enc.encode(Segment("cam", i), fmt, 0.4))
+        yield store
+        kv.close()
+
+    @pytest.mark.parametrize("fmt,consumer", [
+        (ENCODED, "good-540p-1-100%"),
+        (ENCODED, "good-540p-1/6-100%"),
+        (ENCODED, "good-540p-1/30-100%"),
+        (RAW_FMT, "best-200p-1-100%"),
+        (RAW_FMT, "best-200p-1/30-100%"),
+    ])
+    def test_assess_many_matches_scalar(self, store, fmt, consumer):
+        reader = SegmentReader(store, fmt, Fidelity.parse(consumer),
+                               clock=SimClock())
+        indices = [0, 1, 2, 3, 4]
+        batch = reader.assess_many("cam", indices)
+        for index, clip in zip(indices, batch):
+            one = reader.assess("cam", index)
+            assert clip.n_frames == one.n_frames
+            # bit-identical, not approx: the executor schedules on these
+            assert clip.retrieval_seconds == one.retrieval_seconds
+            assert clip.stored.index == one.stored.index
+
+    def test_assess_many_empty(self, store):
+        reader = SegmentReader(store, ENCODED,
+                               Fidelity.parse("good-540p-1-100%"),
+                               clock=SimClock())
+        assert reader.assess_many("cam", []) == []
+
+    def test_assess_cached_many_matches_scalar(self, store):
+        from repro.cache.plane import CachePlane
+
+        reader = SegmentReader(store, RAW_FMT,
+                               Fidelity.parse("best-200p-1/30-100%"),
+                               clock=SimClock(), cache=CachePlane())
+        indices = [0, 1, 2]
+        batch = reader.assess_cached_many("cam", indices)
+        for index, (clip, access) in zip(indices, batch):
+            one_clip, one_access = reader.assess_cached("cam", index)
+            assert clip.retrieval_seconds == one_clip.retrieval_seconds
+            assert access.key == one_access.key
+            assert access.hit == one_access.hit
+            assert access.full_seconds == one_access.full_seconds
+            assert access.hit_seconds == one_access.hit_seconds
+            assert access.nbytes == one_access.nbytes
