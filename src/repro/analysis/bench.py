@@ -1,0 +1,177 @@
+"""Benchmark trajectory comparison: ``python -m repro bench-diff``.
+
+Every benchmark session rewrites ``benchmarks/BENCH.json`` (schema 1:
+``{"schema": 1, "tests": {nodeid: wall}, "metrics": {cell: fields}}``).
+Until now the trajectory was eyeballed against RESULTS.md; this module
+diffs two such files cell by cell and applies a regression tolerance, so
+CI can *gate* on throughput instead of merely archiving it:
+
+* cells are matched by name across the two files; a cell present on one
+  side only is reported but never gates;
+* the gated quantity is ``events_per_second`` (scheduling throughput —
+  the number the executor-core work is optimizing); ``wall_seconds`` is
+  shown alongside as context but does not gate, because a cell's wall
+  includes simulated-workload changes that are not regressions;
+* a cell whose recorded throughput is 0 is *excluded* from gating:
+  ``ExecutorStats.events_per_second`` reports 0.0 when the run finished
+  under the wall-clock resolution (``wall_seconds == 0``), and a ratio
+  against an honest zero is noise, not signal.
+
+The committed ``benchmarks/BENCH_BASELINE.json`` pins the last accepted
+run; the CI perf-smoke job diffs the fresh smoke cell against it and
+fails on a >30% throughput drop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "BenchDiff",
+    "CellDelta",
+    "DEFAULT_TOLERANCE",
+    "diff_bench",
+    "format_bench_diff",
+    "load_bench",
+]
+
+#: Throughput may drop this fraction before a cell counts as a
+#: regression — headroom for noisy shared CI workers.
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_bench(path: str) -> Dict:
+    """Load one BENCH.json; raises ValueError on an unknown schema."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != 1:
+        raise ValueError(
+            f"{path}: unsupported BENCH schema {data.get('schema')!r}"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One metric cell compared across two benchmark runs."""
+
+    cell: str
+    old_eps: Optional[float]  # events/s, None when absent on that side
+    new_eps: Optional[float]
+    old_wall: Optional[float]
+    new_wall: Optional[float]
+    excluded: str = ""  # non-empty: why this cell does not gate
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """new/old throughput; None when the cell cannot be compared."""
+        if self.excluded or not self.old_eps or self.new_eps is None:
+            return None
+        return self.new_eps / self.old_eps
+
+    def regressed(self, tolerance: float) -> bool:
+        ratio = self.ratio
+        return ratio is not None and ratio < 1.0 - tolerance
+
+
+@dataclass(frozen=True)
+class BenchDiff:
+    """Cell-by-cell comparison of two benchmark runs."""
+
+    deltas: Tuple[CellDelta, ...]
+    tolerance: float
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [d for d in self.deltas if d.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _cell_numbers(
+    fields: Dict,
+) -> Tuple[Optional[float], Optional[float], str]:
+    """Extract (events/s, wall, exclusion reason) from one cell's fields."""
+    eps = fields.get("events_per_second")
+    wall = fields.get("wall_seconds")
+    if eps is None:
+        return None, wall, "no events_per_second recorded"
+    if eps <= 0:
+        # An honest zero: the run finished under the timer's resolution.
+        return eps, wall, "sub-resolution run (events_per_second == 0)"
+    return eps, wall, ""
+
+
+def diff_bench(old: Dict, new: Dict,
+               tolerance: float = DEFAULT_TOLERANCE) -> BenchDiff:
+    """Compare two loaded BENCH.json payloads cell by cell."""
+    old_metrics = old.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    deltas: List[CellDelta] = []
+    for cell in sorted(set(old_metrics) | set(new_metrics)):
+        if cell not in old_metrics:
+            deltas.append(CellDelta(cell, None, None, None,
+                                    new_metrics[cell].get("wall_seconds"),
+                                    excluded="new cell (no baseline)"))
+            continue
+        if cell not in new_metrics:
+            deltas.append(CellDelta(cell, None, None,
+                                    old_metrics[cell].get("wall_seconds"),
+                                    None, excluded="cell gone from new run"))
+            continue
+        old_eps, old_wall, old_why = _cell_numbers(old_metrics[cell])
+        new_eps, new_wall, new_why = _cell_numbers(new_metrics[cell])
+        deltas.append(CellDelta(cell, old_eps, new_eps, old_wall, new_wall,
+                                excluded=old_why or new_why))
+    return BenchDiff(deltas=tuple(deltas), tolerance=tolerance)
+
+
+def _fmt(value: Optional[float], unit: str = "") -> str:
+    if value is None:
+        return "--"
+    if unit == "s":
+        return f"{value:.4f}s"
+    return f"{value:,.0f}"
+
+
+def format_bench_diff(diff: BenchDiff) -> str:
+    """Render the diff the way CI logs want it: table, then verdict."""
+    lines: List[str] = []
+    header = (f"{'cell':<34} {'old ev/s':>12} {'new ev/s':>12} "
+              f"{'ratio':>7} {'old wall':>10} {'new wall':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in diff.deltas:
+        ratio = d.ratio
+        if ratio is not None:
+            verdict = f"{ratio:6.2f}x"
+        else:
+            verdict = "   excl"
+        lines.append(
+            f"{d.cell:<34} {_fmt(d.old_eps):>12} {_fmt(d.new_eps):>12} "
+            f"{verdict:>7} {_fmt(d.old_wall, 's'):>10} "
+            f"{_fmt(d.new_wall, 's'):>10}"
+        )
+        if d.excluded:
+            lines.append(f"{'':<34}   [excluded: {d.excluded}]")
+    regressions = diff.regressions
+    floor = 1.0 - diff.tolerance
+    if regressions:
+        lines.append("")
+        for d in regressions:
+            lines.append(
+                f"REGRESSION: {d.cell} at {d.ratio:.2f}x of baseline "
+                f"throughput (floor {floor:.2f}x)"
+            )
+    else:
+        compared = sum(1 for d in diff.deltas if d.ratio is not None)
+        lines.append("")
+        lines.append(
+            f"OK: {compared} cell(s) compared, none below "
+            f"{floor:.2f}x of baseline throughput"
+        )
+    return "\n".join(lines)

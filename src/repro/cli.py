@@ -8,7 +8,9 @@ Commands cover the common operator workflows:
 * ``ingest`` — transcode a stream's segments into an on-disk store;
 * ``execute`` — actually run a query over stored segments;
 * ``datasets`` — list the built-in benchmark streams;
-* ``focus`` — evaluate the Section-7 Focus comparison model.
+* ``focus`` — evaluate the Section-7 Focus comparison model;
+* ``bench-diff`` — compare two BENCH.json runs and gate on throughput
+  regressions.
 """
 
 from __future__ import annotations
@@ -150,7 +152,8 @@ def cmd_execute(args: argparse.Namespace) -> int:
         for run in range(max(1, args.repeat)):
             result = store.execute(args.query, dataset=args.dataset,
                                    accuracy=args.accuracy,
-                                   t0=args.t0, t1=args.t1, core=args.core)
+                                   t0=args.t0, t1=args.t1, core=args.core,
+                                   trace=args.trace)
             tag = "" if args.repeat <= 1 else f" (run {run + 1})"
             print(f"executed query {result.query} over "
                   f"{result.video_seconds:.0f}s of {args.dataset}: "
@@ -165,6 +168,21 @@ def cmd_execute(args: argparse.Namespace) -> int:
             print()
             print(format_sharding_table(store.sharding_report()))
     return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import diff_bench, format_bench_diff, load_bench
+
+    if not 0.0 <= args.tolerance < 1.0:
+        raise SystemExit("--tolerance must be in [0, 1)")
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"bench-diff: {exc}")
+    diff = diff_bench(old, new, tolerance=args.tolerance)
+    print(format_bench_diff(diff))
+    return 0 if diff.ok else 1
 
 
 def cmd_datasets(args: argparse.Namespace) -> int:
@@ -233,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="executor core: the O(log n) event-heap engine "
                         "(default) or the legacy reference loop — results "
                         "are bit-identical, only wall-clock differs")
+    p.add_argument("--trace", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force per-event trace recording on (--trace) or "
+                        "off (--no-trace); default records only for fleets "
+                        "of up to 64 queries")
     p.set_defaults(func=cmd_execute)
 
     p = sub.add_parser("datasets", help="list the benchmark streams")
@@ -242,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selectivity", type=float, default=0.10)
     p.add_argument("--alpha", type=float, default=1 / 48)
     p.set_defaults(func=cmd_focus)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH.json runs; exit 1 on throughput regression",
+    )
+    p.add_argument("old", help="baseline BENCH.json (e.g. the committed "
+                               "benchmarks/BENCH_BASELINE.json)")
+    p.add_argument("new", help="fresh BENCH.json to compare against it")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional events/s drop before a cell "
+                        "counts as a regression (default: 0.30)")
+    p.set_defaults(func=cmd_bench_diff)
 
     return parser
 

@@ -107,6 +107,21 @@ class VStore:
         if self._kv is not None:
             self._kv.close()
 
+    def flush(self) -> None:
+        """Push buffered segment-log writes to the OS."""
+        if self._kv is not None:
+            self._kv.flush()
+
+    def reopen_after_fork(self) -> None:
+        """Re-handle the backing log in a forked worker process.
+
+        Forked children share the parent's file offset; a worker running
+        queries must call this once before reading (see
+        :mod:`repro.query.parallel`, which does so automatically).
+        """
+        if self._kv is not None:
+            self._kv.reopen_after_fork()
+
     def _check_open(self) -> None:
         if self._closed:
             raise StorageError(
@@ -200,18 +215,21 @@ class VStore:
         )
 
     def execute(self, query: str, dataset: str, accuracy: float,
-                t0: float, t1: float, core: str = "heap") -> ExecutionResult:
+                t0: float, t1: float, core: str = "heap",
+                trace: Optional[bool] = None) -> ExecutionResult:
         """Actually run a query over stored segments.
 
         ``core`` picks the executor engine: the O(log n) ``"heap"`` event
         loop (default) or the legacy ``"reference"`` rescan loop — the
-        two produce bit-identical results.
+        two produce bit-identical results.  ``trace`` forces per-event
+        trace recording on or off (``None`` = automatic by fleet size).
         """
         self._check_open()
         if self.segments is None:
             raise QueryError("execution requires a workdir-backed store")
         return self.engine(dataset).execute(
-            cascade_for(query), accuracy, self.segments, t0, t1, core=core
+            cascade_for(query), accuracy, self.segments, t0, t1, core=core,
+            trace=trace,
         )
 
     # -- concurrent queries ---------------------------------------------------------
@@ -234,7 +252,7 @@ class VStore:
             self.configuration, self.library, self.segments, **kwargs
         )
 
-    def execute_many(self, specs, **kwargs) -> List["QueryOutcome"]:
+    def execute_many(self, specs, parallel: Optional[int] = None, **kwargs):
         """Admit and run many queries at once against shared resources.
 
         Each spec is a mapping with ``query`` ("A"/"B" or a cascade),
@@ -242,7 +260,23 @@ class VStore:
         ``stream``, ``contexts`` and ``deadline`` admission knobs.
         Remaining keyword arguments configure the executor (see
         :meth:`executor`); outcomes come back in admission order.
+
+        With ``parallel=N``, ``specs`` is instead a sequence of
+        *independent fleets* (each a sequence of specs as above); the
+        fleets are partitioned across ``N`` forked worker processes,
+        each fleet on a fresh ``SimClock`` and without a cache plane,
+        and the per-fleet
+        :class:`~repro.analysis.concurrency.ConcurrencyReport`\\ s come
+        back in fleet order (see :mod:`repro.query.parallel` for the
+        isolation rules and :func:`~repro.query.parallel.merge_reports`
+        for the aggregate view).  ``parallel=1`` runs the same fleets
+        in-process with identical semantics — bit-equal reports.
         """
+        if parallel is not None:
+            from repro.query.parallel import run_fleets
+
+            self._check_open()
+            return run_fleets(self, specs, parallel, **kwargs)
         executor = self.executor(**kwargs)
         for spec in specs:
             spec = dict(spec)

@@ -375,6 +375,7 @@ class QueryEngine:
         contexts: int = 1,
         stream: Optional[str] = None,
         core: str = "heap",
+        trace: Optional[bool] = None,
     ) -> ExecutionResult:
         """Stream segments through retrieval into stochastic operator runs.
 
@@ -400,6 +401,7 @@ class QueryEngine:
             engines={self.dataset: self},
             cache=self.cache,
             core=core,
+            trace=trace,
         )
         executor.admit(query, self.dataset, accuracy, t0, t1,
                        stream=stream, scheme=scheme, contexts=contexts)

@@ -81,6 +81,25 @@ class CompletionHeap:
         """The running task with the smallest ``(end, seq)``."""
         return heapq.heappop(self._heap)[2]
 
+    def pop_batch(self) -> List[object]:
+        """All running tasks sharing the smallest ``end``, in seq order.
+
+        This is the batch-drain entry point: same-timestamp completions
+        are popped together so the executor advances the clock once and
+        accounts for the whole batch in a single pass.  Tasks *granted
+        while the batch is being processed* (zero-duration tasks can
+        complete at the very same instant) are not in the returned batch —
+        they carry a larger ``seq`` than every popped entry, so the next
+        ``pop_batch`` call yields them in exactly the order the one-at-a-
+        time ``pop`` loop would have.
+        """
+        heap = self._heap
+        end, _, first = heapq.heappop(heap)
+        batch = [first]
+        while heap and heap[0][0] == end:
+            batch.append(heapq.heappop(heap)[2])
+        return batch
+
 
 class ReadyHeapIndex:
     """Per-resource ready heaps with lazy invalidation and capacity parking.
@@ -157,16 +176,25 @@ class ReadyHeapIndex:
             return heap[0]
         return None
 
-    def pop_best(self) -> Optional[object]:
+    def pop_best(self, resources: Optional[Iterable[str]] = None
+                 ) -> Optional[object]:
         """Remove and return the globally minimal fitting waiting entry.
 
         Scans the per-resource heads (a handful of pools) and compares
         their ``(priority, seq)`` keys — exactly the order the legacy
         full-list ``min`` produced, at O(resources + log n) per grant.
+
+        ``resources`` restricts the scan to the given *dirty* pools — the
+        batch-drain loop passes only the resources whose state changed
+        since the last grant round (capacity freed, or entries pushed).
+        Every other pool is *grant-stable*: its previous round ended with
+        no fitting head and nothing has changed since, so skipping it
+        returns the same entry the full scan would.  Callers own that
+        invariant; passing ``None`` always scans everything.
         """
         best_key: Optional[tuple] = None
         best_resource: Optional[str] = None
-        for resource in self._heaps:
+        for resource in (self._heaps if resources is None else resources):
             entry = self._head(resource)
             if entry is not None and (best_key is None or entry[0] < best_key):
                 best_key = entry[0]

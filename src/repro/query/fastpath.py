@@ -1,0 +1,322 @@
+"""Vectorized fleet fast path: the executor's hot loop on flat arrays.
+
+The general event-heap core (:meth:`ConcurrentExecutor._run_heap
+<repro.query.scheduler.ConcurrentExecutor._run_heap>`) pays real per-event
+Python even after PR 5 made every decision O(log n): a ``_Waiting`` and a
+``_Running`` dataclass per task, policy-callback indirection per priority,
+dict traffic for service accounting, and attribute chases on every grant
+and completion.  For the fleets the scale benchmarks and the planned
+open-loop harness actually run — thousands of *independent* queries, no
+cache plane, static priorities — none of that machinery changes the
+schedule, so this module lowers the fleet onto flat parallel arrays once
+at ``run()`` entry and drains it with a loop whose per-event work is a few
+list index operations and one ``heapq`` push/pop.
+
+Qualification (checked once, recorded as ``ExecutorStats.core ==
+"fastpath"``; any miss falls back to the general heap core):
+
+* no cache plane — so runtime chains are the plan chains verbatim: no
+  single-flight rewrite, no dependency edges, no wakeups;
+* the policy is exactly :class:`~repro.query.scheduler.FIFOPolicy` or
+  :class:`~repro.query.scheduler.DeadlinePolicy` — both keys are static
+  per session (``(seq,)`` / ``(deadline, seq)``), so lazy invalidation
+  and priority callbacks vanish into one float per session;
+* every session runs one context and every task requests one unit — true
+  for all ``contexts=1`` admissions — so "fits" degenerates to
+  ``free > 0`` and capacity parking cannot occur.
+
+Lowering happens per *plan*, not per session, and is cached on the plan
+object (keyed on the stage tuple's identity and the store's shard
+layout): a benchmark fleet admitting one plan 4096 times lowers it once.
+
+Bit-parity with the heap core (and therefore the reference oracle) is by
+construction, not by approximation:
+
+* the single ``seq`` counter increments on every submission *and* every
+  grant, exactly as in the general cores, so all tie-breaks agree;
+* grants pick the globally minimal ``(k0, seq)`` over the per-resource
+  ready heaps — the same total order the policy callbacks produce;
+* completions pop in ``(end, seq)`` order and replicate
+  ``SimClock.charge`` / ``advance_to`` float-for-float, including the
+  "charge exact duration when the task started at the current instant"
+  branch that keeps a lone query bit-identical to sequential execution;
+* per-pool busy seconds accumulate in completion order, and per-session
+  service accumulates in chain order (a session's chain is serial, so
+  its completion order *is* chain order — which is why service can be
+  precomputed during lowering and shared by every session on the plan).
+
+Trace recording honours the executor's tracing switch: a traced fastpath
+run emits the identical event dicts the general cores would, which is how
+the Hypothesis parity suite replays qualifying fleets through all three
+cores and diffs the traces.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler ↔ here)
+    from repro.query.scheduler import ConcurrentExecutor, QueryPlan
+
+__all__ = ["lower_fleet", "run_fastpath"]
+
+#: Attribute the per-plan lowering is cached under (``object.__setattr__``
+#: on the frozen plan, like ``QueryPlan.tasks`` caches its flattening).
+_CACHE_ATTR = "_fastpath_lowered"
+
+
+class _Chain:
+    """One plan's task chain as parallel arrays, shared across sessions."""
+
+    __slots__ = ("resource", "duration", "category", "kind", "operator",
+                 "service", "n")
+
+    def __init__(self, resource: List[str], duration: List[float],
+                 category: List[str], kind: List[str], operator: List[str],
+                 service: Dict[str, float]) -> None:
+        self.resource = resource  # routed pool name per task
+        self.duration = duration
+        self.category = category
+        self.kind = kind  # "retrieve" | "consume", for trace events
+        self.operator = operator
+        #: Chain-order service accumulation per pool name — exactly the
+        #: floats ``_complete`` would leave in ``service_by_resource``.
+        self.service = service
+        self.n = len(duration)
+
+
+class _Fleet:
+    """A qualified fleet, lowered: per-session chains + static policy keys."""
+
+    __slots__ = ("chains", "k0")
+
+    def __init__(self, chains: List[_Chain], k0: List[float]) -> None:
+        self.chains = chains
+        self.k0 = k0  # one static priority scalar per session
+
+
+def _lower_plan(plan: "QueryPlan", disk_shards: int) -> Optional[_Chain]:
+    """Lower one plan's chain to arrays; ``None`` if a task disqualifies.
+
+    Cached on the plan keyed by (stages identity, shard layout) — the
+    routing of ``"disk"`` tasks onto per-shard channel pools is the only
+    store-dependent part of the lowering.
+    """
+    cached = plan.__dict__.get(_CACHE_ATTR)
+    if (cached is not None and cached[0] is plan.stages
+            and cached[1] == disk_shards):
+        return cached[2]
+    resource: List[str] = []
+    duration: List[float] = []
+    category: List[str] = []
+    kind: List[str] = []
+    operator: List[str] = []
+    service: Dict[str, float] = {}
+    chain: Optional[_Chain] = None
+    for task in plan.tasks:
+        if task.units != 1:
+            break  # multi-unit gang: parking semantics -> general core
+        name = task.resource
+        if name == "disk" and disk_shards > 1:
+            name = f"disk:{task.shard % disk_shards}"
+        resource.append(name)
+        duration.append(task.duration)
+        category.append(task.category)
+        kind.append(task.kind)
+        operator.append(task.operator)
+        service[name] = service.get(name, 0.0) + task.duration
+    else:
+        chain = _Chain(resource, duration, category, kind, operator, service)
+    object.__setattr__(plan, _CACHE_ATTR, (plan.stages, disk_shards, chain))
+    return chain
+
+
+def lower_fleet(executor: "ConcurrentExecutor") -> Optional[_Fleet]:
+    """Lower a qualifying fleet to arrays; ``None`` to use the heap core."""
+    from repro.query.scheduler import DeadlinePolicy, FIFOPolicy
+
+    if executor.cache is not None:
+        return None  # single-flight rewrite / wakeups need the general core
+    policy_type = type(executor.policy)
+    if policy_type is not FIFOPolicy and policy_type is not DeadlinePolicy:
+        return None  # dynamic (or custom) priorities need lazy invalidation
+    sessions = executor._sessions
+    if not sessions:
+        return None
+    edf = policy_type is DeadlinePolicy
+    disk_shards = executor._disk_shards
+    pools = executor._pools
+    chains: List[_Chain] = []
+    k0: List[float] = []
+    lowered: Dict[int, Optional[_Chain]] = {}
+    for session in sessions:
+        if session.contexts != 1:
+            return None  # gangs may park on the operator pool
+        plan = session.plan
+        key = id(plan)
+        chain = lowered.get(key)
+        if chain is None:
+            chain = _lower_plan(plan, disk_shards)
+            if chain is None:
+                return None
+            for name in chain.service:
+                if name not in pools:  # pragma: no cover - defensive
+                    return None
+            lowered[key] = chain
+        chains.append(chain)
+        if edf:
+            deadline = session.deadline
+            k0.append(deadline if deadline is not None else math.inf)
+        else:
+            k0.append(0.0)
+    return _Fleet(chains, k0)
+
+
+def run_fastpath(executor: "ConcurrentExecutor", fleet: _Fleet) -> None:
+    """Drain a lowered fleet; bit-identical to the general cores.
+
+    The loop keeps every piece of mutable state in flat locals — ready
+    heaps of ``(k0, seq, session)`` triples per pool, one completion heap
+    of ``(end, seq, session, start)``, and plain lists for cursors, waits
+    and pool capacity — and writes the results back onto the executor's
+    sessions, pools and clock only once, after the drain.  Accumulation
+    *order* (the thing float parity actually depends on) is identical to
+    the general cores throughout; see the module docstring.
+    """
+    sessions = executor._sessions
+    chains = fleet.chains
+    k0 = fleet.k0
+    clock = executor.clock
+    now = clock.now
+    by_category = clock.by_category
+    tracing = executor._tracing
+    trace_events = executor.trace_events
+    labels = [s.label for s in sessions] if tracing else None
+
+    pool_names = list(executor._pools)
+    index = {name: r for r, name in enumerate(pool_names)}
+    pools = [executor._pools[name] for name in pool_names]
+    # Unbounded pools never run out: float inf survives -=/+= untouched.
+    free = [math.inf if p.capacity is None else p.capacity - p.in_use
+            for p in pools]
+    busy = [p.busy_seconds for p in pools]
+
+    n = len(sessions)
+    res: List[List[int]] = []  # chain resource indices, per session
+    for chain in chains:
+        res.append([index[name] for name in chain.resource])
+
+    ready: List[List[Tuple[float, int, int]]] = [[] for _ in pool_names]
+    completions: List[Tuple[float, int, int, float]] = []
+    cursor = [0] * n  # next task to submit, per session
+    since = [0.0] * n  # submission instant of the session's waiting task
+    waited = [s.waited_seconds for s in sessions]
+    finished = [s.finished_at for s in sessions]
+    seq = 0  # one counter for submissions AND grants, as in the cores
+
+    for s in range(n):  # initial submissions, admission order
+        if chains[s].n == 0:
+            finished[s] = now  # empty chain: finished at admission instant
+        else:
+            heappush(ready[res[s][0]], (k0[s], seq, s))
+            since[s] = now
+            cursor[s] = 1
+            seq += 1
+
+    nres = len(pool_names)
+    while True:
+        # -- grant round: globally minimal (k0, seq) over fitting heads --
+        while True:
+            best = None
+            best_r = -1
+            for r in range(nres):
+                q = ready[r]
+                if q and free[r] > 0:
+                    head = q[0]
+                    if best is None or head < best:
+                        best = head
+                        best_r = r
+            if best is None:
+                break
+            heappop(ready[best_r])
+            s = best[2]
+            free[best_r] -= 1
+            waited[s] += now - since[s]
+            i = cursor[s] - 1
+            chain = chains[s]
+            duration = chain.duration[i]
+            heappush(completions, (now + duration, seq, s, now))
+            if tracing:
+                trace_events.append({
+                    "event": "start",
+                    "t": now,
+                    "query": labels[s],
+                    "kind": chain.kind[i],
+                    "operator": chain.operator[i],
+                    "resource": chain.resource[i],
+                    "duration": duration,
+                })
+            seq += 1
+
+        if not completions:
+            break
+
+        # -- next completion in (end, seq) order --
+        end, _, s, start = heappop(completions)
+        chain = chains[s]
+        i = cursor[s] - 1
+        duration = chain.duration[i]
+        category = chain.category[i]
+        r = res[s][i]
+        # SimClock.charge / advance_to, float-for-float: charge the exact
+        # duration when the task started at the current instant (the N=1
+        # sequential-parity branch), otherwise advance by the delta — and
+        # ``advance_to`` adds the delta rather than assigning ``end``.
+        if now == start:
+            now = now + duration
+            by_category[category] = by_category.get(category, 0.0) + duration
+        else:
+            delta = end - now
+            if delta > 0:
+                now = now + delta
+                by_category[category] = (
+                    by_category.get(category, 0.0) + delta
+                )
+        busy[r] += duration  # units == 1
+        if tracing:
+            trace_events.append({
+                "event": "finish",
+                "t": now,
+                "query": labels[s],
+                "kind": chain.kind[i],
+                "operator": chain.operator[i],
+                "resource": chain.resource[i],
+                "duration": duration,
+            })
+        free[r] += 1
+        i += 1
+        if i >= chain.n:
+            finished[s] = now
+        else:
+            heappush(ready[res[s][i]], (k0[s], seq, s))
+            since[s] = now
+            cursor[s] = i + 1
+            seq += 1
+
+    # -- write results back onto the executor's state, once --
+    clock.now = now
+    events = 0
+    for s in range(n):
+        session = sessions[s]
+        chain = chains[s]
+        session.finished_at = finished[s]
+        session.waited_seconds = waited[s]
+        session.service_by_resource = dict(chain.service)
+        session.prio_version += chain.n  # one bump per completion
+        session._cursor = chain.n
+        events += 2 * chain.n  # one start + one finish per task
+    for r, pool in enumerate(pools):
+        pool.busy_seconds = busy[r]
+    executor._events += events

@@ -157,6 +157,12 @@ class OperatorContextPool:
 #: serving decoded-frame hits; it is always uncontended.
 RESOURCES: Tuple[str, ...] = ("disk", "decoder", "operators", "cache")
 
+#: Fleets up to this many queries record per-event ``trace_events`` by
+#: default (``ConcurrentExecutor(trace=None)``).  Larger fleets skip the
+#: per-event dict allocation — at 4096 queries the trace list alone
+#: dominates the run's allocation profile — unless tracing is forced on.
+TRACE_AUTO_QUERIES = 64
+
 
 @dataclass(frozen=True)
 class ResourceTask:
@@ -518,6 +524,8 @@ class ConcurrentExecutor:
         engines: Optional[Dict[str, "QueryEngine"]] = None,
         cache: Optional[CachePlane] = None,
         core: str = "heap",
+        trace: Optional[bool] = None,
+        fastpath: bool = True,
     ):
         if core not in ("heap", "reference"):
             raise QueryError(
@@ -557,7 +565,20 @@ class ConcurrentExecutor:
         }
         #: Task start/finish events of the last run, in simulated-time
         #: order — the raw material of the golden-trace regression tests.
+        #: Recording is opt-in: ``trace=None`` (the default) records for
+        #: fleets of up to :data:`TRACE_AUTO_QUERIES` queries and skips
+        #: the per-event dicts beyond that; ``trace=True``/``False``
+        #: forces it either way.  Event *counts* (``stats().events``) are
+        #: kept regardless.
         self.trace_events: List[Dict[str, object]] = []
+        self._trace_mode = trace
+        self._tracing = trace if trace is not None else True
+        self._events = 0
+        #: Whether :meth:`run` may lower a qualifying fleet onto the
+        #: vectorized fast path (:mod:`repro.query.fastpath`); the
+        #: general event-heap core is used when it does not qualify.
+        self._fastpath_enabled = fastpath
+        self._core_used = core
         self._engines: Dict[str, "QueryEngine"] = dict(engines or {})
         self._sessions: List[QuerySession] = []
         self._started_at: float = self.clock.now
@@ -779,7 +800,14 @@ class ConcurrentExecutor:
 
     def _trace(self, event: str, session: QuerySession, rt: _RunTask,
                t: float) -> None:
-        """Append one task lifecycle event to the run's trace."""
+        """Append one task lifecycle event to the run's trace.
+
+        Always counts the event (``stats().events`` stays honest for
+        untraced runs); the dict is only allocated when tracing is on.
+        """
+        self._events += 1
+        if not self._tracing:
+            return
         self.trace_events.append({
             "event": event,
             "t": t,
@@ -828,13 +856,36 @@ class ConcurrentExecutor:
         self._ran = True
         self._started_at = self.clock.now
         self.trace_events = []
-        # plan.tasks flattens the stage chains on every access; materialize
-        # each chain once (applying the single-flight dedup when a cache
-        # plane is attached) so the loop stays linear in the task count.
-        chains = self._runtime_chains()
+        self._events = 0
+        self._tracing = (
+            len(self._sessions) <= TRACE_AUTO_QUERIES
+            if self._trace_mode is None else self._trace_mode
+        )
+        self._core_used = self.core
+        # Chain materialization (and, for qualifying fleets, the fast
+        # path's array lowering) happens outside the timed window: the
+        # wall-clock below measures the executor core itself, the same
+        # methodology the PR 5 scale benchmarks pinned.
+        fleet = None
+        chains = None
+        if self.core == "heap" and self._fastpath_enabled:
+            from repro.query.fastpath import lower_fleet
+
+            fleet = lower_fleet(self)  # None when the fleet disqualifies
+        if fleet is None:
+            # plan.tasks flattens the stage chains on every access;
+            # materialize each chain once (applying the single-flight
+            # dedup when a cache plane is attached) so the loop stays
+            # linear in the task count.
+            chains = self._runtime_chains()
         wall0 = perf_counter()
         if self.core == "reference":
             self._run_reference(chains)
+        elif fleet is not None:
+            from repro.query.fastpath import run_fastpath
+
+            self._core_used = "fastpath"
+            run_fastpath(self, fleet)
         else:
             self._run_heap(chains)
         self._wall_seconds = perf_counter() - wall0
@@ -889,6 +940,29 @@ class ConcurrentExecutor:
         and dependency counters wake single-flight followers through the
         event queue — see :mod:`repro.query.eventloop` for the exact
         equivalence argument against the reference loop.
+
+        Completions are drained in *same-timestamp batches*
+        (:meth:`CompletionHeap.pop_batch`): the clock only moves on the
+        batch's first entry, and the remaining entries skip the heap's
+        per-pop bookkeeping.  Two orderings inside a batch are sacred and
+        deliberately **not** batched, because collapsing them diverges
+        from the reference loop:
+
+        * each completion runs its own grant round before the next
+          completion's units are released — with parked multi-unit gangs,
+          a small task legitimately backfills after a partial release
+          even though the batch's *aggregate* release would have fitted
+          the gang first;
+        * each completion submits its session's successor (taking the
+          next ``seq``) before later batch entries are processed, so
+          same-timestamp tie-breaks keep the reference's seq order.
+
+        What makes the batch pass cheap is that each grant round only
+        scans the *dirty* resources — the pools whose free capacity grew
+        or that received new ready entries since the previous round; all
+        other pools provably have no fitting head (their last round ended
+        empty-handed and nothing changed), so the restricted scan grants
+        exactly what the full scan would at a fraction of the cost.
         """
         policy = self.policy
         pools = self._pools
@@ -903,23 +977,28 @@ class ConcurrentExecutor:
         completions = CompletionHeap()
         seq = 0
 
-        def submit_next(session: QuerySession) -> None:
+        def submit_next(session: QuerySession) -> Optional[str]:
+            """Submit the session's next task; returns the resource it
+            became ready on (``None`` when the chain ended or the task
+            parked on unfinished dependencies)."""
             nonlocal seq
             tasks = chains[session.qid]
             if session._cursor >= len(tasks):
                 session.finished_at = self.clock.now
-                return
+                return None
             task = tasks[session._cursor]
             session._cursor += 1
             w = _Waiting(session, task, seq, self.clock.now)
             seq += 1
             if deps.submit(w):
                 ready.push(task.resource, w)
+                return task.resource
+            return None
 
-        def grant() -> None:
+        def grant(dirty=None) -> None:
             nonlocal seq
             while True:
-                w = ready.pop_best()
+                w = ready.pop_best(dirty)
                 if w is None:
                     return
                 pool = pools[w.task.resource]
@@ -938,20 +1017,27 @@ class ConcurrentExecutor:
             submit_next(session)
         grant()
 
+        cache = self.cache
         while completions:
-            done = completions.pop()
-            self._complete(done)
-            released = deps.complete(done.task.uid)
-            if released:
-                # Single-flight followers (and deduplicated consumes) wake
-                # up here, through the event queue — never via a rescan.
-                if self.cache is not None:
-                    self.cache.note_wakeups(len(released))
-                for w in released:
-                    ready.push(w.task.resource, w)
-            ready.release(done.task.resource)
-            submit_next(done.session)
-            grant()
+            for done in completions.pop_batch():
+                self._complete(done)
+                resource = done.task.resource
+                dirty = {resource}
+                released = deps.complete(done.task.uid)
+                if released:
+                    # Single-flight followers (and deduplicated consumes)
+                    # wake up here, through the event queue — never via a
+                    # rescan.
+                    if cache is not None:
+                        cache.note_wakeups(len(released))
+                    for w in released:
+                        ready.push(w.task.resource, w)
+                        dirty.add(w.task.resource)
+                ready.release(resource)
+                next_resource = submit_next(done.session)
+                if next_resource is not None:
+                    dirty.add(next_resource)
+                grant(dirty)
 
         blocked = list(ready.pending()) + deps.parked()
         if blocked:  # pragma: no cover - guarded by the acyclic dedup graph
@@ -1052,7 +1138,7 @@ class ConcurrentExecutor:
             makespan=self.clock.now - self._started_at,
             capacities={name: p.capacity for name, p in self._pools.items()},
             busy_seconds={name: p.busy_seconds for name, p in self._pools.items()},
-            core=self.core,
-            events=len(self.trace_events),
+            core=self._core_used,
+            events=self._events,
             wall_seconds=self._wall_seconds,
         )

@@ -1,0 +1,176 @@
+"""Tests for the BENCH.json trajectory diff (``python -m repro bench-diff``).
+
+The diff is the CI perf gate, so its edge cases are load-bearing: cells
+present on one side only must report-but-not-gate, honest zero
+throughput (sub-resolution wall clock) must be excluded rather than
+compared, and the tolerance boundary must be exact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    DEFAULT_TOLERANCE,
+    CellDelta,
+    diff_bench,
+    format_bench_diff,
+    load_bench,
+)
+from repro.cli import main
+from repro.query.scheduler import ExecutorStats
+
+
+def _bench(metrics):
+    return {"schema": 1, "tests": {}, "metrics": metrics}
+
+
+def _cell(eps, wall=1.0):
+    fields = {"wall_seconds": wall}
+    if eps is not None:
+        fields["events_per_second"] = eps
+    return fields
+
+
+class TestDiffBench:
+    def test_flat_run_is_ok(self):
+        old = _bench({"a": _cell(100.0), "b": _cell(200.0)})
+        diff = diff_bench(old, old)
+        assert diff.ok
+        assert [d.ratio for d in diff.deltas] == [1.0, 1.0]
+
+    def test_regression_beyond_tolerance_fails(self):
+        old = _bench({"a": _cell(100.0)})
+        new = _bench({"a": _cell(60.0)})  # 0.60x < 0.70x floor
+        diff = diff_bench(old, new, tolerance=0.30)
+        assert not diff.ok
+        assert [d.cell for d in diff.regressions] == ["a"]
+
+    def test_tolerance_boundary_is_strict(self):
+        # Exactly at the floor is allowed; any lower regresses.
+        old = _bench({"a": _cell(100.0)})
+        assert diff_bench(old, _bench({"a": _cell(70.0)}),
+                          tolerance=0.30).ok
+        assert not diff_bench(old, _bench({"a": _cell(69.9)}),
+                              tolerance=0.30).ok
+
+    def test_improvement_never_gates(self):
+        old = _bench({"a": _cell(100.0)})
+        new = _bench({"a": _cell(500.0)})
+        assert diff_bench(old, new).ok
+
+    def test_one_sided_cells_are_reported_not_gated(self):
+        old = _bench({"gone": _cell(100.0)})
+        new = _bench({"fresh": _cell(1.0)})
+        diff = diff_bench(old, new)
+        assert diff.ok
+        by_cell = {d.cell: d for d in diff.deltas}
+        assert by_cell["fresh"].excluded == "new cell (no baseline)"
+        assert by_cell["gone"].excluded == "cell gone from new run"
+        assert by_cell["fresh"].ratio is None
+        assert by_cell["gone"].ratio is None
+
+    def test_sub_resolution_zero_is_excluded(self):
+        # events_per_second == 0.0 means wall_seconds was below the timer
+        # resolution — an honest zero, not an infinite regression.
+        old = _bench({"a": _cell(100.0)})
+        new = _bench({"a": _cell(0.0, wall=0.0)})
+        diff = diff_bench(old, new)
+        assert diff.ok
+        assert "sub-resolution" in diff.deltas[0].excluded
+
+    def test_cell_without_throughput_is_excluded(self):
+        # e.g. the PR 5 speedup cell records only derived ratios.
+        old = _bench({"a": _cell(None)})
+        new = _bench({"a": _cell(50.0)})
+        diff = diff_bench(old, new)
+        assert diff.ok
+        assert diff.deltas[0].excluded == "no events_per_second recorded"
+
+    def test_default_tolerance_matches_ci_gate(self):
+        assert DEFAULT_TOLERANCE == 0.30
+
+
+class TestCellDelta:
+    def test_ratio_none_when_old_missing(self):
+        d = CellDelta("a", None, 5.0, None, 1.0)
+        assert d.ratio is None
+        assert not d.regressed(0.0)
+
+    def test_regressed_uses_ratio(self):
+        d = CellDelta("a", 100.0, 50.0, 1.0, 1.0)
+        assert d.ratio == 0.5
+        assert d.regressed(0.30)
+        assert not d.regressed(0.60)
+
+
+class TestFormatting:
+    def test_ok_verdict_counts_compared_cells(self):
+        old = _bench({"a": _cell(100.0), "b": _cell(None)})
+        text = format_bench_diff(diff_bench(old, old))
+        assert "OK: 1 cell(s) compared" in text
+        assert "[excluded: no events_per_second recorded]" in text
+
+    def test_regression_verdict_names_the_cell(self):
+        old = _bench({"a": _cell(100.0)})
+        new = _bench({"a": _cell(10.0)})
+        text = format_bench_diff(diff_bench(old, new))
+        assert "REGRESSION: a at 0.10x of baseline" in text
+
+
+class TestLoadBench:
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "metrics": {}}))
+        with pytest.raises(ValueError, match="unsupported BENCH schema"):
+            load_bench(str(path))
+
+
+class TestCli:
+    def _write(self, tmp_path, name, metrics):
+        path = tmp_path / name
+        path.write_text(json.dumps(_bench(metrics)))
+        return str(path)
+
+    def test_exit_zero_on_ok(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", {"a": _cell(100.0)})
+        new = self._write(tmp_path, "new.json", {"a": _cell(120.0)})
+        assert main(["bench-diff", old, new]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", {"a": _cell(100.0)})
+        new = self._write(tmp_path, "new.json", {"a": _cell(10.0)})
+        assert main(["bench-diff", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_widens_the_gate(self, tmp_path):
+        old = self._write(tmp_path, "old.json", {"a": _cell(100.0)})
+        new = self._write(tmp_path, "new.json", {"a": _cell(50.0)})
+        assert main(["bench-diff", old, new]) == 1
+        assert main(["bench-diff", old, new, "--tolerance", "0.6"]) == 0
+
+    def test_rejects_bad_tolerance(self, tmp_path):
+        old = self._write(tmp_path, "old.json", {})
+        with pytest.raises(SystemExit, match="tolerance"):
+            main(["bench-diff", old, old, "--tolerance", "1.5"])
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="bench-diff:"):
+            main(["bench-diff", str(tmp_path / "nope.json"),
+                  str(tmp_path / "nope.json")])
+
+    def test_committed_baseline_loads(self):
+        data = load_bench("benchmarks/BENCH_BASELINE.json")
+        smoke = data["metrics"]["executor_scale/smoke_q64_s4"]
+        assert smoke["events_per_second"] > 0
+
+
+def test_events_per_second_honest_on_zero_wall():
+    stats = ExecutorStats(
+        policy="fifo", n_queries=1, makespan=1.0, capacities={},
+        busy_seconds={}, wall_seconds=0.0, events=128, core="heap",
+    )
+    assert stats.events_per_second == 0.0

@@ -298,3 +298,52 @@ class TestReports:
         assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
         assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3)
         assert jain_index([]) == 1.0
+
+
+class TestTraceOptIn:
+    """Per-event trace recording is opt-in past TRACE_AUTO_QUERIES.
+
+    ``stats().events`` must stay honest either way — the counter always
+    runs; only the per-event dict allocation is skipped."""
+
+    def _run(self, store, n, **kwargs):
+        ex = store.executor(**kwargs)
+        for _ in range(n):
+            ex.admit(QUERY_A, "jackson", 0.9, 0.0, 8.0)
+        ex.run()
+        return ex
+
+    def test_small_fleet_traces_by_default(self, store):
+        ex = self._run(store, 2)
+        assert ex.trace_events
+        assert len(ex.trace_events) == ex.stats().events
+
+    def test_forced_off_keeps_event_count(self, store):
+        traced = self._run(store, 2)
+        silent = self._run(store, 2, trace=False)
+        assert silent.trace_events == []
+        assert silent.stats().events == traced.stats().events > 0
+
+    def test_auto_threshold_is_inclusive(self, store):
+        from repro.query.scheduler import TRACE_AUTO_QUERIES
+
+        at = self._run(store, TRACE_AUTO_QUERIES)
+        assert at.trace_events  # 64 queries still trace by default
+        over = self._run(store, TRACE_AUTO_QUERIES + 1)
+        assert over.trace_events == []
+        assert over.stats().events > at.stats().events
+
+    def test_forced_on_overrides_threshold(self, store):
+        from repro.query.scheduler import TRACE_AUTO_QUERIES
+
+        ex = self._run(store, TRACE_AUTO_QUERIES + 1, trace=True)
+        assert len(ex.trace_events) == ex.stats().events
+
+    def test_cli_flag_parses_three_ways(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        base = ["execute", "A", "--workdir", "w"]
+        assert parser.parse_args(base).trace is None
+        assert parser.parse_args(base + ["--trace"]).trace is True
+        assert parser.parse_args(base + ["--no-trace"]).trace is False

@@ -66,11 +66,26 @@ POLICIES = (FIFOPolicy, FairSharePolicy, DeadlinePolicy)
           suppress_health_check=[HealthCheck.too_slow])
 @given(data=st.data())
 def test_heap_core_matches_reference_on_random_fleets(stores, data):
-    """Random fleet, both cores, everything equal to the last bit."""
+    """Random fleet, all three cores, everything equal to the last bit.
+
+    Each example runs through the reference oracle, the batch-drained
+    heap core with the fast path *disabled* (so the general core is
+    exercised even on qualifying fleets), and the default dispatch — and
+    asserts the dispatch lowered onto the vectorized fast path exactly
+    when the fleet qualifies (no cache plane, static FIFO/EDF priorities,
+    every session single-context).  Half the examples are *forced* to
+    qualify so the fast path sees deep coverage, not just lucky draws.
+    """
     shards = data.draw(st.sampled_from((1, 4)), label="shards")
     store = stores[shards]
-    policy_cls = data.draw(st.sampled_from(POLICIES), label="policy")
-    with_cache = data.draw(st.booleans(), label="cache")
+    qualify = data.draw(st.booleans(), label="force-fastpath-qualifying")
+    if qualify:
+        policy_cls = data.draw(st.sampled_from((FIFOPolicy, DeadlinePolicy)),
+                               label="policy")
+        with_cache = False
+    else:
+        policy_cls = data.draw(st.sampled_from(POLICIES), label="policy")
+        with_cache = data.draw(st.booleans(), label="cache")
     disk_channels = data.draw(st.sampled_from((None, 1, 2)), label="disk")
     decoder_ctx = data.draw(st.sampled_from((None, 1, 2)), label="decoder")
     op_ctx = data.draw(st.sampled_from((None, 2, 4)), label="operators")
@@ -80,13 +95,13 @@ def test_heap_core_matches_reference_on_random_fleets(stores, data):
         qname = data.draw(st.sampled_from(("A", "B")))
         dataset = {"A": "jackson", "B": "dashcam"}[qname]
         span = data.draw(st.sampled_from((8.0, 16.0, 32.0)))
-        contexts = data.draw(st.integers(1, 3))
+        contexts = 1 if qualify else data.draw(st.integers(1, 3))
         deadline = data.draw(
             st.one_of(st.none(),
                       st.floats(0.5, 10.0, allow_nan=False)))
         admissions.append((qname, dataset, span, contexts, deadline))
 
-    def run(core):
+    def run(core, fastpath=True):
         # A fresh cache plane per run: single-flight dedup edges are then
         # planned identically for both cores (planning only peeks).
         cache = CachePlane(CacheConfig()) if with_cache else None
@@ -100,23 +115,37 @@ def test_heap_core_matches_reference_on_random_fleets(stores, data):
                            if op_ctx else None),
             cache=cache,
             core=core,
+            fastpath=fastpath,
         )
         for qname, dataset, span, contexts, deadline in admissions:
             ex.admit(cascade_for(qname), dataset, 0.9, 0.0, span,
                      contexts=contexts, deadline=deadline)
         return ex, ex.run()
 
-    heap_ex, heap_out = run("heap")
+    fast_ex, fast_out = run("heap")
+    heap_ex, heap_out = run("heap", fastpath=False)
     ref_ex, ref_out = run("reference")
 
+    assert fast_ex.trace_events == ref_ex.trace_events
     assert heap_ex.trace_events == ref_ex.trace_events
-    for h, r in zip(heap_out, ref_out):
-        assert h.session.finished_at == r.session.finished_at
-        assert h.session.waited_seconds == r.session.waited_seconds
-        assert h.session.service_by_resource == r.session.service_by_resource
+    for h, f, r in zip(heap_out, fast_out, ref_out):
+        for out in (h, f):
+            assert out.session.finished_at == r.session.finished_at
+            assert out.session.waited_seconds == r.session.waited_seconds
+            assert (out.session.service_by_resource
+                    == r.session.service_by_resource)
+    fast_stats = fast_ex.stats()
     heap_stats, ref_stats = heap_ex.stats(), ref_ex.stats()
-    assert heap_stats.makespan == ref_stats.makespan
-    assert heap_stats.busy_seconds == ref_stats.busy_seconds
+    for stats in (heap_stats, fast_stats):
+        assert stats.makespan == ref_stats.makespan
+        assert stats.busy_seconds == ref_stats.busy_seconds
+        assert stats.events == ref_stats.events
+    # The dispatch must take the fast path exactly when the fleet
+    # qualifies: any silent fallback (or over-eager lowering) is a bug.
+    expect_fast = (not with_cache
+                   and policy_cls in (FIFOPolicy, DeadlinePolicy)
+                   and all(a[3] == 1 for a in admissions))
+    assert fast_stats.core == ("fastpath" if expect_fast else "heap")
     assert heap_stats.core == "heap" and ref_stats.core == "reference"
 
 
@@ -185,7 +214,9 @@ def test_precomputed_plan_rejects_oversized_gang(stores):
 def test_deadlock_error_names_blocked_sessions(stores, core):
     """A stuck run must say *what* is stuck: (qid, resource, units)."""
     store = stores[1]
-    ex = store.executor(core=core)
+    # fastpath=False: the injected dependency cycle lives in the runtime
+    # chains, which the (dependency-free) fast path never materializes.
+    ex = store.executor(core=core, fastpath=False)
     ex.admit(QUERY_B, "dashcam", 0.9, 0.0, 8.0)
     chains = ex._runtime_chains()
     first, last = chains[0][0], chains[0][-1]
@@ -285,6 +316,50 @@ class TestReadyHeapIndex:
         assert index.pop_best() is None
         assert len(index) == 1
 
+    def test_gang_stays_parked_through_partial_release(self):
+        """A multi-unit gang parks, and a release that frees *some* units
+        — but still fewer than the gang needs — must re-park it; only the
+        release that actually fits the gang grants it.  This is the exact
+        ordering batch-drain must preserve: releases are applied one
+        completion at a time, so a batch's partial releases can each wake
+        (and re-park) the gang before the final one fits it."""
+        prios = {0: 0.0, 1: 1.0, 2: 2.0}
+        free = {"r": 0}
+        index = self._index(prios, free)
+        session = _FakeSession(0)
+        gang = _FakeWaiting(session, _FakeTask("r", units=3), 0)
+        small = _FakeWaiting(session, _FakeTask("r", units=1), 1)
+        index.push("r", gang)
+        assert index.pop_best() is None  # full pool: nothing moves
+        free["r"] = 1  # partial release: 1 of the 3 units the gang needs
+        index.release("r")
+        assert index.pop_best() is None  # gang re-parks, does not grant
+        index.push("r", small)
+        assert index.pop_best() is small  # backfill overtakes the gang
+        free["r"] = 0
+        assert index.pop_best() is None
+        free["r"] = 3  # full release: now the gang fits
+        index.release("r")
+        assert index.pop_best() is gang
+        assert index.pop_best() is None
+
+    def test_dirty_resource_restriction_matches_full_scan(self):
+        """pop_best(resources) must return the full scan's pick whenever
+        the skipped pools are grant-stable (no fitting head)."""
+        prios = {0: 5.0, 1: 1.0}
+        free = {"a": 1, "b": 0}
+        index = self._index(prios, free)
+        session = _FakeSession(0)
+        worse = _FakeWaiting(session, _FakeTask("a"), 0)
+        better = _FakeWaiting(session, _FakeTask("b"), 1)
+        index.push("a", worse)
+        index.push("b", better)  # better priority, but pool "b" is full
+        # Pool "b" has no fitting head, so restricting the scan to the
+        # dirty pool {"a"} grants exactly what the full scan would.
+        assert index.pop_best(["a"]) is worse
+        free["b"] = 1
+        assert index.pop_best(["b"]) is better
+
 
 class TestDependencyTracker:
     def test_submit_parks_until_deps_complete(self):
@@ -324,6 +399,35 @@ class TestCompletionHeap:
         heap.push(1.0, 2, "tie-a")
         assert [heap.pop() for _ in range(3)] == ["tie-a", "tie-b", "late"]
         assert len(heap) == 0
+
+    def test_pop_batch_drains_one_timestamp_in_seq_order(self):
+        heap = CompletionHeap()
+        heap.push(1.0, 5, "t1-c")
+        heap.push(2.0, 1, "t2-a")
+        heap.push(1.0, 2, "t1-a")
+        heap.push(1.0, 4, "t1-b")
+        assert heap.pop_batch() == ["t1-a", "t1-b", "t1-c"]
+        assert len(heap) == 1  # the t=2.0 entry stays for the next batch
+        assert heap.pop_batch() == ["t2-a"]
+        assert len(heap) == 0
+
+    def test_pop_batch_leaves_same_end_followups_for_next_batch(self):
+        # A zero-duration task granted while draining a batch lands at the
+        # *same* end timestamp but with a larger grant seq.  It must form
+        # its own follow-up batch, exactly as the one-at-a-time reference
+        # pops it after the already-pending same-end completions.
+        heap = CompletionHeap()
+        heap.push(1.0, 2, "first")
+        heap.push(1.0, 3, "second")
+        assert heap.pop_batch() == ["first", "second"]
+        heap.push(1.0, 7, "zero-dur follow-up")
+        assert heap.pop_batch() == ["zero-dur follow-up"]
+
+    def test_pop_batch_requires_a_pending_completion(self):
+        # The drain loop guards with ``while completions:``, so an empty
+        # pop_batch is a caller bug, not a silent no-op.
+        with pytest.raises(IndexError):
+            CompletionHeap().pop_batch()
 
 
 def test_blocked_triples_sorted():
