@@ -12,6 +12,12 @@ from repro.analysis.concurrency import (
     format_concurrency_table,
     jain_index,
 )
+from repro.analysis.drift import (
+    DriftRegretReport,
+    drift_regret_report,
+    format_drift_table,
+    retrieval_seconds,
+)
 from repro.analysis.focus import FocusComparison
 from repro.analysis.sharding import (
     ShardRow,
@@ -36,6 +42,10 @@ from repro.analysis.tables import (
 
 __all__ = [
     "ConcurrencyReport",
+    "DriftRegretReport",
+    "drift_regret_report",
+    "format_drift_table",
+    "retrieval_seconds",
     "WarmColdComparison",
     "format_cache_table",
     "format_warm_cold_table",

@@ -1,0 +1,329 @@
+"""Regret-vs-oracle report for online evolution under query-mix drift.
+
+The scenario is the two-phase drift workload the online-evolution stack is
+judged by.  A store is configured for a *phase-1* consumer mix (the three
+"query B" operators), ingests footage, and serves phase-1 queries; then the
+mix flips to the *phase-2* operators ("query A") and three arms diverge:
+
+* **frozen** — the Section-7 stopgap only: new consumers subscribe to the
+  cheapest existing storage format with satisfiable fidelity
+  (:func:`~repro.core.evolve.legacy_configuration`); the store never
+  re-encodes, so every phase-2 query retrieves from over-rich formats.
+* **online** — same start, but after the drift detector's window flags the
+  new mix, :meth:`~repro.core.store.VStore.evolve_online` re-plans
+  incrementally and materializes the missing formats with background jobs
+  that contend with concurrently admitted foreground queries.
+* **oracle** — configured for the union mix from the start (it knew the
+  future); its phase-2 cost is the best the planner can do.
+
+The headline number is **recovery**: the fraction of the oracle's
+retrieval-cost advantage over the frozen plan that online evolution wins
+back, ``(frozen - online) / (frozen - oracle)``.  Retrieval cost is read
+off the *plans* of foreground outcomes (summed ``retrieve``-task seconds),
+so the comparison is independent of how contention scheduled each run.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.evolve import decide_consumers, legacy_configuration
+from repro.core.store import VStore
+from repro.errors import ConfigurationError
+from repro.operators.library import Consumer, default_library
+from repro.units import SEGMENT_SECONDS
+
+__all__ = [
+    "DRIFT_PHASE1",
+    "DRIFT_PHASE2",
+    "DriftRegretReport",
+    "EvolutionSummary",
+    "drift_regret_report",
+    "format_drift_table",
+    "retrieval_seconds",
+]
+
+#: Phase-1 mix: the benchmark query-B operators (their consumption formats
+#: coalesce into a rich 540p golden format, which phase 2 can live off).
+DRIFT_PHASE1: Tuple[Consumer, ...] = (
+    Consumer("Motion", 0.9),
+    Consumer("License", 0.9),
+    Consumer("OCR", 0.9),
+)
+
+#: Phase-2 mix: the benchmark query-A operators (cheap, low-resolution
+#: consumption formats the phase-1 plan never materialized).
+DRIFT_PHASE2: Tuple[Consumer, ...] = (
+    Consumer("Diff", 0.9),
+    Consumer("S-NN", 0.9),
+    Consumer("NN", 0.9),
+)
+
+_OPERATORS = tuple(c.operator for c in DRIFT_PHASE1 + DRIFT_PHASE2)
+
+
+def retrieval_seconds(outcomes: Iterable) -> float:
+    """Planned retrieve-task seconds over the foreground outcomes.
+
+    Background jobs (``session.klass != 0``) are excluded: migration I/O
+    is evolution's *cost*, not query demand.  Durations come from the
+    plans, so the metric is identical under any contention schedule.
+    """
+    return sum(
+        task.duration
+        for outcome in outcomes
+        if getattr(outcome.session, "klass", 0) == 0
+        for stage in outcome.session.plan.stages
+        for task in stage.tasks
+        if task.kind == "retrieve"
+    )
+
+
+@dataclass(frozen=True)
+class EvolutionSummary:
+    """What one ``evolve_online`` round did, condensed for the report."""
+
+    epoch: int
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    kept: Tuple[str, ...]
+    reencoded_segments: int
+    retired_segments: int
+    foreground_queries: int
+
+
+@dataclass(frozen=True)
+class DriftRegretReport:
+    """Three-arm phase-2 retrieval cost and the recovery fraction."""
+
+    dataset: str
+    n_segments: int
+    phase1: Tuple[Consumer, ...]
+    phase2: Tuple[Consumer, ...]
+    phase2_queries: int
+    #: Phase-2 retrieval seconds per arm (``online`` is None when the
+    #: online arm was not run).
+    frozen_seconds: float
+    oracle_seconds: float
+    online_seconds: Optional[float]
+    #: Drift score the online arm's detector reported just before
+    #: evolving (frozen-arm score when the online arm was skipped).
+    drift_score: float
+    drifted: bool
+    evolution: Optional[EvolutionSummary]
+
+    @property
+    def oracle_advantage(self) -> float:
+        """Retrieval seconds the oracle saves over the frozen plan."""
+        return self.frozen_seconds - self.oracle_seconds
+
+    @property
+    def recovery(self) -> Optional[float]:
+        """Fraction of the oracle's advantage online evolution won back."""
+        if self.online_seconds is None:
+            return None
+        advantage = self.oracle_advantage
+        if advantage <= 0.0:
+            # The frozen plan was already optimal; nothing to recover.
+            return 1.0
+        return (self.frozen_seconds - self.online_seconds) / advantage
+
+
+def _phase_specs(query: str, dataset: str, accuracy: float,
+                 t1: float, count: int) -> List[Dict]:
+    return [
+        {"query": query, "dataset": dataset, "accuracy": accuracy,
+         "t0": 0.0, "t1": t1}
+        for _ in range(count)
+    ]
+
+
+def _contended_pools() -> Dict[str, object]:
+    # Deliberately tight pools for the shared evolution run, so the report
+    # exercises background jobs genuinely contending with foreground
+    # queries (retrieval *cost* is plan-side and unaffected either way).
+    from repro.codec.decoder import DecoderPool
+    from repro.query.scheduler import OperatorContextPool
+    from repro.storage.disk import DiskBandwidthPool
+
+    return {
+        "disk_pool": DiskBandwidthPool(1),
+        "decoder_pool": DecoderPool(1),
+        "operator_pool": OperatorContextPool(2),
+    }
+
+
+def drift_regret_report(
+    online: bool = True,
+    dataset: str = "jackson",
+    n_segments: int = 4,
+    phase1_queries: int = 4,
+    phase2_queries: int = 20,
+    detection_queries: int = 4,
+    evolution_foreground: int = 2,
+    accuracy: float = 0.9,
+    workdir: Optional[str] = None,
+) -> DriftRegretReport:
+    """Run the two-phase drift scenario and report regret vs the oracle.
+
+    The online arm pays honestly for adaptation: ``detection_queries``
+    phase-2 queries run at frozen-plan cost before the detector's window
+    flags drift, and ``evolution_foreground`` more are admitted as
+    foreground work *during* the evolution run (planned against the old
+    configuration, so also at frozen cost).  Only the remaining
+    ``phase2_queries - detection_queries - evolution_foreground`` queries
+    see the evolved formats — recovery < 1 by construction.
+
+    ``workdir`` hosts the three per-arm stores (a temporary directory is
+    used and cleaned up when omitted).
+    """
+    if phase2_queries <= detection_queries + evolution_foreground:
+        raise ConfigurationError(
+            "phase2_queries must exceed detection_queries + "
+            "evolution_foreground, or no query ever sees the evolved plan"
+        )
+    if not online:
+        evolution_foreground = 0
+
+    t1 = n_segments * SEGMENT_SECONDS - 1.0
+    phase1 = _phase_specs("B", dataset, accuracy, t1, phase1_queries)
+
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="vstore-drift-")
+        workdir = tmp.name
+    try:
+        def build(name: str, consumers: Sequence[Consumer]) -> VStore:
+            store = VStore(
+                workdir=os.path.join(workdir, name),
+                library=default_library(names=_OPERATORS),
+            )
+            store.configure(consumers=list(consumers))
+            store.ingest(dataset, n_segments=n_segments)
+            store.execute_many(phase1)
+            return store
+
+        def adopt_legacy(store: VStore) -> None:
+            decisions = decide_consumers(
+                store.library, DRIFT_PHASE2, clock=store.clock,
+                known={d.consumer: d
+                       for d in store.configuration.decisions},
+            )
+            store.adopt(legacy_configuration(store.configuration, decisions))
+
+        # Arm 1: frozen — legacy subscriptions only, never evolves.
+        with build("frozen", DRIFT_PHASE1) as frozen:
+            adopt_legacy(frozen)
+            frozen_outcomes = frozen.execute_many(
+                _phase_specs("A", dataset, accuracy, t1, phase2_queries)
+            )
+            frozen_seconds = retrieval_seconds(frozen_outcomes)
+            frozen_score = frozen.drift.drift_score()
+            frozen_drifted = frozen.drift.drifted
+
+        # Arm 2: oracle — knew the union mix from the start.
+        with build("oracle", DRIFT_PHASE1 + DRIFT_PHASE2) as oracle:
+            oracle_outcomes = oracle.execute_many(
+                _phase_specs("A", dataset, accuracy, t1, phase2_queries)
+            )
+            oracle_seconds = retrieval_seconds(oracle_outcomes)
+
+        # Arm 3: online — frozen start, evolves once drift is detected.
+        online_seconds: Optional[float] = None
+        drift_score, drifted = frozen_score, frozen_drifted
+        evolution: Optional[EvolutionSummary] = None
+        if online:
+            with build("online", DRIFT_PHASE1) as store:
+                adopt_legacy(store)
+                detected = store.execute_many(
+                    _phase_specs("A", dataset, accuracy, t1,
+                                 detection_queries)
+                )
+                drift_score = store.drift.drift_score()
+                drifted = store.drift.drifted
+                report = store.evolve_online(
+                    foreground=_phase_specs("A", dataset, accuracy, t1,
+                                            evolution_foreground),
+                    **_contended_pools(),
+                )
+                remaining = (phase2_queries - detection_queries
+                             - evolution_foreground)
+                evolved = store.execute_many(
+                    _phase_specs("A", dataset, accuracy, t1, remaining)
+                )
+                online_seconds = (
+                    retrieval_seconds(detected)
+                    + retrieval_seconds(report.foreground)
+                    + retrieval_seconds(evolved)
+                )
+                replan = report.replan
+                evolution = EvolutionSummary(
+                    epoch=report.epoch,
+                    added=tuple(sf.label for sf in replan.added),
+                    removed=tuple(sf.label for sf in replan.removed),
+                    kept=tuple(sf.label for sf in replan.kept),
+                    reencoded_segments=report.reencoded_segments,
+                    retired_segments=report.retired_segments,
+                    foreground_queries=len(report.foreground),
+                )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    return DriftRegretReport(
+        dataset=dataset,
+        n_segments=n_segments,
+        phase1=DRIFT_PHASE1,
+        phase2=DRIFT_PHASE2,
+        phase2_queries=phase2_queries,
+        frozen_seconds=frozen_seconds,
+        oracle_seconds=oracle_seconds,
+        online_seconds=online_seconds,
+        drift_score=drift_score,
+        drifted=drifted,
+        evolution=evolution,
+    )
+
+
+def format_drift_table(report: DriftRegretReport) -> str:
+    """Human-readable regret report (the CLI ``evolve`` command's output)."""
+    lines = [
+        f"drift scenario on {report.dataset} "
+        f"({report.n_segments} segments, "
+        f"{report.phase2_queries} phase-2 queries)",
+        "  phase 1: " + ", ".join(
+            f"{c.operator}@{c.accuracy:.2f}" for c in report.phase1),
+        "  phase 2: " + ", ".join(
+            f"{c.operator}@{c.accuracy:.2f}" for c in report.phase2),
+        f"  drift score at detection: {report.drift_score:.3f} "
+        f"({'drifted' if report.drifted else 'stationary'})",
+        "",
+        f"  {'arm':>8}  retrieval seconds (phase 2)",
+        f"  {'frozen':>8}  {report.frozen_seconds:12.4f}",
+    ]
+    if report.online_seconds is not None:
+        lines.append(f"  {'online':>8}  {report.online_seconds:12.4f}")
+    lines.append(f"  {'oracle':>8}  {report.oracle_seconds:12.4f}")
+    if report.evolution is not None:
+        ev = report.evolution
+        lines += [
+            "",
+            f"  evolution (epoch {ev.epoch}): "
+            f"re-encoded {ev.reencoded_segments} segments, "
+            f"retired {ev.retired_segments}, "
+            f"{ev.foreground_queries} foreground queries ran alongside",
+            "    added:   " + (", ".join(ev.added) or "-"),
+            "    removed: " + (", ".join(ev.removed) or "-"),
+            "    kept:    " + (", ".join(ev.kept) or "-"),
+        ]
+    recovery = report.recovery
+    if recovery is not None:
+        lines += [
+            "",
+            f"  oracle advantage: {report.oracle_advantage:.4f} s; "
+            f"online recovered {recovery:.1%} of it",
+        ]
+    return "\n".join(lines)

@@ -8,6 +8,9 @@ Commands cover the common operator workflows:
 * ``ingest`` — transcode a stream's segments into an on-disk store;
 * ``execute`` — actually run a query over stored segments;
 * ``datasets`` — list the built-in benchmark streams;
+* ``evolve`` — run the two-phase query-mix drift scenario and report
+  retrieval cost against frozen and oracle plans (``--online`` adds the
+  live evolution arm);
 * ``focus`` — evaluate the Section-7 Focus comparison model;
 * ``bench-diff`` — compare two BENCH.json runs and gate on throughput
   regressions.
@@ -170,6 +173,24 @@ def cmd_execute(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.analysis.drift import drift_regret_report, format_drift_table
+
+    if args.phase2_queries <= args.detection_queries + 2:
+        raise SystemExit("--phase2-queries must exceed --detection-queries "
+                         "by at least 3")
+    report = drift_regret_report(
+        online=args.online,
+        dataset=args.dataset,
+        n_segments=args.segments,
+        phase2_queries=args.phase2_queries,
+        detection_queries=args.detection_queries,
+        workdir=getattr(args, "workdir", None),
+    )
+    print(format_drift_table(report))
+    return 0
+
+
 def cmd_bench_diff(args: argparse.Namespace) -> int:
     from repro.analysis.bench import diff_bench, format_bench_diff, load_bench
 
@@ -257,6 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "off (--no-trace); default records only for fleets "
                         "of up to 64 queries")
     p.set_defaults(func=cmd_execute)
+
+    p = sub.add_parser(
+        "evolve",
+        help="two-phase drift scenario: frozen vs oracle retrieval cost, "
+             "optionally with the online-evolution arm",
+    )
+    p.add_argument("--online", action="store_true",
+                   help="run the online-evolution arm: detect drift, "
+                        "re-plan incrementally, and materialize new "
+                        "formats with background jobs contending with "
+                        "foreground queries")
+    p.add_argument("--dataset", default="jackson", choices=sorted(DATASETS))
+    p.add_argument("--segments", type=int, default=4)
+    p.add_argument("--phase2-queries", type=int, default=20)
+    p.add_argument("--detection-queries", type=int, default=4,
+                   help="phase-2 queries the drift detector observes at "
+                        "frozen-plan cost before evolution triggers")
+    p.add_argument("--workdir", default=None,
+                   help="host the three per-arm stores here (default: a "
+                        "cleaned-up temporary directory)")
+    p.set_defaults(func=cmd_evolve)
 
     p = sub.add_parser("datasets", help="list the benchmark streams")
     p.set_defaults(func=cmd_datasets)

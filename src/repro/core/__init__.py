@@ -19,10 +19,15 @@ from repro.core.coalesce import (
 )
 from repro.core.config import Configuration, derive_configuration
 from repro.core.consumption import ConsumptionDecision, ConsumptionPlanner
+from repro.core.drift import DriftDetector
 from repro.core.erosion import ErosionPlan, ErosionPlanner
 from repro.core.evolve import (
+    EvolutionReport,
     EvolvedConfiguration,
+    ReplanResult,
     add_operators,
+    legacy_configuration,
+    replan_incremental,
     reprofile_for_hardware,
 )
 from repro.core.knobs import configuration_space_size
@@ -34,10 +39,15 @@ __all__ = [
     "Configuration",
     "ConsumptionDecision",
     "ConsumptionPlanner",
+    "DriftDetector",
     "ErosionPlan",
     "ErosionPlanner",
+    "EvolutionReport",
     "EvolvedConfiguration",
+    "ReplanResult",
     "add_operators",
+    "legacy_configuration",
+    "replan_incremental",
     "reprofile_for_hardware",
     "StorageFormatPlanner",
     "VStore",

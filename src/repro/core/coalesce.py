@@ -63,6 +63,12 @@ class Demand:
     consumer: Consumer
     cf_fidelity: Fidelity
     required_speed: float  # the consumer's consumption speed (x realtime)
+    #: True for a Section-7 legacy subscription: the consumer was bound to
+    #: an existing (satisfiable but not derived-for-it) format because
+    #: transcoding old footage on its behalf was deferred.  The next
+    #: incremental re-plan treats such consumers as newcomers — a legacy
+    #: binding is provisional, not a format the planner chose for them.
+    legacy: bool = False
 
 
 @dataclass
@@ -362,8 +368,16 @@ class StorageFormatPlanner:
     ) -> CoalescePlan:
         """The paper's heuristic: free merges first, then pay storage for
         ingest until the budget is met."""
-        formats = self.initial_formats(decisions)
-        rounds = 0
+        return self._climb(self.initial_formats(decisions))
+
+    def _climb(self, formats: List[SFPlan],
+               rounds: int = 0) -> CoalescePlan:
+        """The shared hill-climb behind both planner entry points.
+
+        Runs the two heuristic phases from an arbitrary seed format set:
+        ``heuristic_coalesce`` seeds it with one SF per unique CF,
+        ``incremental_coalesce`` with the re-demanded current plan.
+        """
         cache = _MoveCache(self)
 
         # Phase 1: harvest free merges (no storage increase, less ingest).
@@ -417,6 +431,81 @@ class StorageFormatPlanner:
             ingest_cores=self.ingest_cost(formats),
             rounds=rounds,
         )
+
+    # -- incremental re-planning ---------------------------------------------------------
+
+    def incremental_coalesce(
+        self,
+        decisions: Sequence[ConsumptionDecision],
+        seed: Sequence[SFPlan],
+    ) -> CoalescePlan:
+        """Hill-climb from the *current* plan instead of re-enumerating.
+
+        Evolutionary-style re-planning: the input to this round is the
+        best plan so far.  The seed's formats are re-seeded with the new
+        demand set —
+
+        * a consumer already subscribed in the seed keeps its format (as
+          long as that format still covers its CF and the subscription is
+          not a provisional legacy binding — see :class:`Demand.legacy`);
+        * consumers new to the mix — or whose CF outgrew their old home —
+          get dedicated initial formats, one per unique leftover CF;
+        * non-golden seed formats left without any demand are dropped;
+        * every surviving format's coding is re-tightened to the cheapest
+          adequate option for its remaining demands;
+        * the golden format follows the new knob-wise maximum (keeping
+          the seed's coding when the maximum is unchanged, so stored
+          golden segments stay valid)
+
+        — and the shared climb then runs from that set.  On a stationary
+        workload the re-seeded set *is* the seed and the climb finds no
+        moves, so the plan matches ``heuristic_coalesce``'s; under drift
+        only moves touching the changed formats are evaluated, warm via
+        the profiler's memo tables.
+        """
+        if not decisions:
+            raise ConfigurationError("cannot plan storage with no consumers")
+        seed = list(seed)
+        home_of: Dict[Consumer, Tuple[SFPlan, Demand]] = {
+            d.consumer: (sf, d) for sf in seed for d in sf.demands
+        }
+        kept: Dict[int, List[Demand]] = {}
+        leftovers: Dict[Fidelity, List[Demand]] = {}
+        for d in decisions:
+            demand = Demand(d.consumer, d.fidelity, d.consumption_speed)
+            home, seed_demand = home_of.get(d.consumer, (None, None))
+            if (home is not None and not home.golden
+                    and not seed_demand.legacy
+                    and home.fidelity.richer_equal(d.fidelity)):
+                kept.setdefault(id(home), []).append(demand)
+            else:
+                leftovers.setdefault(d.fidelity, []).append(demand)
+
+        formats: List[SFPlan] = []
+        for sf in seed:
+            if sf.golden:
+                continue
+            demands = kept.get(id(sf))
+            if not demands:
+                continue  # demand vanished: retire the format
+            formats.append(SFPlan(
+                sf.fidelity,
+                self._cheapest_adequate_coding(sf.fidelity, demands),
+                demands,
+            ))
+        for fid, demands in leftovers.items():
+            formats.append(SFPlan(
+                fid, self._cheapest_adequate_coding(fid, demands), demands
+            ))
+
+        golden_fid = knobwise_max([d.fidelity for d in decisions])
+        old_golden = next((sf for sf in seed if sf.golden), None)
+        if old_golden is not None and old_golden.fidelity == golden_fid:
+            golden_coding = old_golden.coding
+        else:
+            golden_coding = self._cheapest_adequate_coding(golden_fid, [])
+        formats.append(SFPlan(golden_fid, golden_coding, [], golden=True))
+        return self._climb(formats)
 
     # -- distance-based selection ------------------------------------------------------------
 

@@ -62,6 +62,11 @@ class Configuration:
     plan: CoalescePlan
     erosion: Optional[ErosionPlan] = None
     stats: ConfigStats = field(default_factory=ConfigStats)
+    #: The coding profiler (with its ProfileTable memos) that derived the
+    #: plan; incremental re-planning threads it through so evolution
+    #: warm-starts from the memoized surfaces instead of re-profiling.
+    coding_profiler: Optional[CodingProfiler] = field(default=None,
+                                                      repr=False)
 
     # -- lookups ---------------------------------------------------------------
 
@@ -199,6 +204,7 @@ def derive_configuration(
         plan=plan,
         erosion=erosion,
         stats=stats,
+        coding_profiler=coding_profiler,
     )
 
 

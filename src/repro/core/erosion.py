@@ -16,6 +16,7 @@ accuracy intact (R1) but decays effective speed; the planner:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,8 +64,22 @@ class ErosionPlan:
 
 
 def power_law_target(age: int, k: float, pmin: float) -> float:
-    """P(x) = (1 - Pmin) * x^-k + Pmin — the per-age overall-speed target."""
-    return (1.0 - pmin) * float(age) ** (-k) + pmin
+    """P(x) = (1 - Pmin) * x^-k + Pmin — the per-age overall-speed target.
+
+    The target is a relative speed, so it only makes sense inside [0, 1]:
+    ages start at day 1 (x^-k would *grow* for x < 1), the decay factor
+    must be non-negative, and Pmin is itself an overall speed.  Invalid
+    inputs raise ``ValueError`` instead of quietly producing targets the
+    fair-scheduler loop can never reach; the result is clamped so float
+    dust near the endpoints cannot leak out of [0, 1].
+    """
+    if age < 1:
+        raise ValueError(f"age must be >= 1 day, got {age}")
+    if not math.isfinite(k) or k < 0.0:
+        raise ValueError(f"decay factor k must be finite and >= 0, got {k}")
+    if not (0.0 <= pmin <= 1.0):  # also rejects NaN
+        raise ValueError(f"pmin must be within [0, 1], got {pmin}")
+    return min(1.0, max(0.0, (1.0 - pmin) * float(age) ** (-k) + pmin))
 
 
 class ErosionPlanner:
@@ -260,7 +275,11 @@ class ErosionPlanner:
             fractions = self._erode_age(fractions, target)
             speeds[age] = self.overall_speed(fractions)
             for i, sf in enumerate(self.formats):
-                frac = 0.0 if sf.golden else fractions.get(i, 0.0)
+                # Deleted fractions are probabilities; the binary search
+                # can land a half-ulp outside the interval, and a clamped
+                # plan is what the storage layer executes.
+                frac = (0.0 if sf.golden
+                        else min(1.0, max(0.0, fractions.get(i, 0.0))))
                 per_age_fracs[(age, sf.label)] = frac
                 residual[(age, sf.label)] = day_bytes[sf.label] * (1.0 - frac)
         return ErosionPlan(
@@ -276,6 +295,16 @@ class ErosionPlanner:
     def plan(self, storage_budget_bytes: Optional[float]) -> ErosionPlan:
         """Find the gentlest decay (smallest k) fitting the budget via
         binary search; k = 0 means no erosion at all."""
+        if storage_budget_bytes is not None and not (
+                math.isfinite(storage_budget_bytes)
+                and storage_budget_bytes >= 0.0):
+            # NaN would sail through every <= comparison below as False
+            # and silently return the harshest plan probed; negative
+            # budgets have no meaning at all.  Fail loudly instead.
+            raise ValueError(
+                f"storage budget must be a non-negative number of bytes "
+                f"(or None for unlimited), got {storage_budget_bytes!r}"
+            )
         no_decay = self.plan_for_k(0.0)
         if storage_budget_bytes is None or no_decay.total_bytes <= storage_budget_bytes:
             return no_decay

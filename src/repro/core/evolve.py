@@ -13,25 +13,54 @@ than wholesale reconfiguration:
 * **hardware changes** (e.g. a new GPU): all operators are re-profiled,
   which this module models by rebuilding the configuration with fresh
   profilers under the new cost model.
+
+Since the online-evolution refactor this module also hosts the *live*
+adaptation path: :func:`replan_incremental` hill-climbs a new configuration
+from the current plan (Mode-3 style, warm-started via the coding profiler's
+memo tables), :func:`legacy_configuration` lets frozen stores keep answering
+drifted queries from existing formats, and the job builders at the bottom
+(:func:`reencode_jobs`, :func:`retirement_jobs`, :func:`erosion_jobs`,
+:func:`rebalance_jobs`) turn the plan diff into
+:class:`~repro.query.scheduler.BackgroundJob` chains that contend with
+foreground queries on the executor's shared pools.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.clock import SimClock
-from repro.core.coalesce import SFPlan
+from repro.codec.encoder import Encoder
+from repro.codec.model import CodecModel, DEFAULT_CODEC
+from repro.core.coalesce import (
+    CoalescePlan,
+    Demand,
+    SFPlan,
+    StorageFormatPlanner,
+)
 from repro.core.config import (
+    ConfigStats,
     Configuration,
     DEFAULT_PROFILE_DATASETS,
+    build_operator_profilers,
     derive_configuration,
+    mean_profile_activity,
+    resolve_profile_datasets,
 )
 from repro.core.consumption import ConsumptionDecision, ConsumptionPlanner
+from repro.core.erosion import ErosionPlanner
 from repro.errors import ConfigurationError
+from repro.ingest.budget import IngestBudget
 from repro.operators.library import Consumer, OperatorLibrary
+from repro.profiler.coding_profiler import CodingProfiler
 from repro.profiler.profiler import OperatorProfiler
 from repro.retrieval.speed import retrieval_speed
+from repro.storage.lifespan import AgeTracker, erosion_rank
+from repro.storage.segment_store import SegmentStore
+from repro.storage.sharding import plan_rebalance
+from repro.units import SEGMENT_SECONDS
+from repro.video.format import StorageFormat
 
 
 @dataclass(frozen=True)
@@ -171,3 +200,424 @@ def reprofile_for_hardware(
         for op in library:
             op.cost_base = op.cost_base * speedup
             op.cost_per_mp = op.cost_per_mp * speedup
+
+
+# -- incremental re-planning (online evolution) ------------------------------
+
+
+def decide_consumers(
+    library: OperatorLibrary,
+    consumers: Sequence[Consumer],
+    profile_datasets: Optional[Mapping[str, str]] = None,
+    clock: Optional[SimClock] = None,
+    known: Optional[Mapping[Consumer, ConsumptionDecision]] = None,
+    profilers: Optional[Dict[str, OperatorProfiler]] = None,
+) -> List[ConsumptionDecision]:
+    """Consumption decisions for ``consumers``, profiling only the unknown.
+
+    ``known`` carries decisions from the current configuration; consumers
+    found there are returned as-is, so a stationary mix costs zero profiler
+    runs and a drifted mix costs O(new consumers) — the same property
+    :func:`add_operators` has, packaged for the re-planner.
+    """
+    clock = clock or SimClock()
+    datasets = resolve_profile_datasets(profile_datasets)
+    known = dict(known or {})
+    missing = [c for c in consumers if c not in known]
+    if missing:
+        profilers = build_operator_profilers(
+            library, missing, datasets, clock, profilers
+        )
+    decisions: List[ConsumptionDecision] = []
+    for consumer in consumers:
+        decision = known.get(consumer)
+        if decision is None:
+            planner = ConsumptionPlanner(
+                profilers[datasets[consumer.operator]]
+            )
+            decision = planner.derive(consumer)
+            known[consumer] = decision
+        decisions.append(decision)
+    return decisions
+
+
+@dataclass
+class ReplanResult:
+    """An incrementally re-derived configuration, diffed against the old."""
+
+    configuration: Configuration
+    #: Formats in the new plan that the old plan did not hold (must be
+    #: materialized by re-encode jobs before the plan can serve queries).
+    added: List[SFPlan]
+    #: Old formats the new plan dropped (retired once the plan commits).
+    removed: List[SFPlan]
+    #: Formats present in both plans (their stored segments carry over).
+    kept: List[SFPlan]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+def replan_incremental(
+    config: Configuration,
+    library: OperatorLibrary,
+    consumers: Sequence[Consumer],
+    profile_datasets: Optional[Mapping[str, str]] = None,
+    ingest_budget: IngestBudget = IngestBudget(),
+    storage_budget_bytes: Optional[float] = None,
+    lifespan_days: int = 10,
+    clock: Optional[SimClock] = None,
+) -> ReplanResult:
+    """Re-derive the configuration for a drifted mix, warm from the old.
+
+    The paper's Mode-3 planner: instead of re-running the full backward
+    derivation, the hill-climb restarts from the *current* plan
+    (:meth:`StorageFormatPlanner.incremental_coalesce
+    <repro.core.coalesce.StorageFormatPlanner.incremental_coalesce>`) and
+    only the consumers the old configuration never decided are profiled.
+    The old configuration's coding profiler — with its ProfileTable memos —
+    is threaded through, so every (fidelity, coding) surface point the old
+    derivation already paid for is a memo hit here.
+    """
+    clock = clock or SimClock()
+    consumers = list(consumers)
+    if not consumers:
+        raise ConfigurationError("cannot re-plan with no consumers")
+    known = {d.consumer: d for d in config.decisions}
+    profilers: Dict[str, OperatorProfiler] = {}
+    decisions = decide_consumers(
+        library, consumers, profile_datasets, clock,
+        known=known, profilers=profilers,
+    )
+
+    coding_profiler = config.coding_profiler
+    if coding_profiler is None:
+        # A configuration built without the warm-start channel (hand-rolled
+        # in tests, or loaded from an older store) re-plans cold.
+        coding_profiler = CodingProfiler(
+            activity=mean_profile_activity(profilers), clock=clock
+        )
+    planner = StorageFormatPlanner(coding_profiler, ingest_budget)
+    plan = planner.incremental_coalesce(decisions, config.plan.formats)
+
+    rates = {
+        sf.label: coding_profiler.profile(sf.fmt).bytes_per_second
+        for sf in plan.formats
+    }
+    erosion = ErosionPlanner(
+        plan.formats, rates, lifespan_days
+    ).plan(storage_budget_bytes)
+
+    stats = ConfigStats(
+        operator_runs=sum(p.stats.runs for p in profilers.values()),
+        operator_seconds=sum(p.stats.seconds for p in profilers.values()),
+        coding_runs=coding_profiler.stats.runs,
+        coding_memo_hits=coding_profiler.stats.memo_hits,
+        coding_seconds=coding_profiler.stats.seconds,
+        coalesce_rounds=plan.rounds,
+    )
+    configuration = Configuration(
+        consumers=consumers,
+        decisions=decisions,
+        plan=plan,
+        erosion=erosion,
+        stats=stats,
+        coding_profiler=coding_profiler,
+    )
+
+    old_labels = {sf.label for sf in config.plan.formats}
+    new_labels = {sf.label for sf in plan.formats}
+    return ReplanResult(
+        configuration=configuration,
+        added=[sf for sf in plan.formats if sf.label not in old_labels],
+        removed=[sf for sf in config.plan.formats
+                 if sf.label not in new_labels],
+        kept=[sf for sf in plan.formats if sf.label in old_labels],
+    )
+
+
+def legacy_configuration(
+    config: Configuration,
+    new_decisions: Sequence[ConsumptionDecision],
+) -> Configuration:
+    """A *frozen* store's answer to a drifted mix: subscribe, don't evolve.
+
+    Consumers already in ``config`` keep their subscriptions; every new
+    decision binds to the cheapest existing SF with satisfiable fidelity
+    (:func:`subscribe_to_existing` — the golden format always qualifies).
+    The returned configuration shares the frozen plan's format set (demand
+    lists are copied, stored segments are untouched), so the query engine
+    can plan and execute the drifted queries against the unchanged store.
+    This is the baseline online evolution is measured against in
+    :mod:`repro.analysis.drift`.
+    """
+    formats = [
+        SFPlan(sf.fidelity, sf.coding, list(sf.demands), golden=sf.golden)
+        for sf in config.plan.formats
+    ]
+    decisions = list(config.decisions)
+    known = {d.consumer for d in decisions}
+    for decision in new_decisions:
+        if decision.consumer in known:
+            continue
+        sub = subscribe_to_existing(decision, formats)
+        sub.storage.demands.append(
+            Demand(decision.consumer, decision.fidelity,
+                   decision.consumption_speed, legacy=True)
+        )
+        decisions.append(decision)
+        known.add(decision.consumer)
+    plan = CoalescePlan(
+        formats=formats,
+        storage_bytes_per_second=config.plan.storage_bytes_per_second,
+        ingest_cores=config.plan.ingest_cores,
+        rounds=config.plan.rounds,
+    )
+    return Configuration(
+        consumers=[d.consumer for d in decisions],
+        decisions=decisions,
+        plan=plan,
+        erosion=config.erosion,
+        stats=config.stats,
+        coding_profiler=config.coding_profiler,
+    )
+
+
+# -- background-job builders -------------------------------------------------
+#
+# Each builder turns one piece of an adopted plan diff into
+# :class:`~repro.query.scheduler.BackgroundJob` chains.  The tasks charge
+# the executor's pools (disk channels, decoder, operator contexts) with the
+# modeled cost of the physical work, and each chain's *final* task carries
+# the ``on_done`` hook that commits the store mutation at the simulated
+# completion instant — so a mutation lands only after its I/O and compute
+# were actually paid for under contention.  The scheduler is imported
+# inside the builders: ``repro.core`` loads before ``repro.query`` in the
+# package graph, so a module-level import would cycle.
+
+
+def _shard_disk(store: SegmentStore, shard: int):
+    return store.disk if store.array is None else store.array.shard(shard)
+
+
+def reencode_jobs(
+    store: SegmentStore,
+    stream: str,
+    targets: Sequence[StorageFormat],
+    source: StorageFormat,
+    *,
+    epoch: int,
+    codec: CodecModel = DEFAULT_CODEC,
+) -> List["BackgroundJob"]:  # noqa: F821 - imported in the function body
+    """One re-encode job per new format: read golden, decode, encode, write.
+
+    Every stored segment of ``source`` (the golden format — the only one
+    guaranteed to satisfy any new format's fidelity) becomes a four-task
+    chain: a shard-routed disk read, a decode on the decoder pool (skipped
+    for raw sources), a transcode on the operator pool whose cost is
+    exactly the ingest encoder's, and a disk write whose ``on_done``
+    commits the segment via :meth:`SegmentStore.put` with ``charge=False``
+    (the write time was already paid on the channel pool) tagged with the
+    in-flight ``epoch``.  The write is charged to the *source* segment's
+    shard — a locality approximation; the placement policy assigns the
+    committed segment's real shard at put time.
+    """
+    from repro.query.scheduler import BackgroundJob, ResourceTask
+
+    jobs: List[BackgroundJob] = []
+    indices = store.indices(stream, source)
+    for target in targets:
+        tasks: List[ResourceTask] = []
+        for index in indices:
+            meta = store.meta(stream, source, index)
+            disk = _shard_disk(store, meta.shard)
+            tasks.append(ResourceTask(
+                kind="read", resource="disk", units=1,
+                duration=(meta.size_bytes / disk.read_bandwidth
+                          + disk.request_overhead),
+                category="disk", operator="reencode", shard=meta.shard,
+            ))
+            if not source.coding.raw:
+                tasks.append(ResourceTask(
+                    kind="decode", resource="decoder", units=1,
+                    duration=meta.n_frames * codec.decode_frame_seconds(
+                        source.fidelity, source.coding
+                    ),
+                    category="decode", operator="reencode",
+                ))
+            # A scratch-clock encoder reproduces the ingest pipeline's
+            # exact cost and size floats for the re-encoded segment.
+            scratch = SimClock()
+            encoded = Encoder(codec, scratch).encode(
+                meta.segment, target, meta.activity
+            )
+            tasks.append(ResourceTask(
+                kind="transcode", resource="operators", units=1,
+                duration=scratch.by_category.get("ingest", 0.0),
+                category="ingest", operator="reencode",
+            ))
+            tasks.append(ResourceTask(
+                kind="write", resource="disk", units=1,
+                duration=(encoded.size_bytes / disk.write_bandwidth
+                          + disk.request_overhead),
+                category="disk", operator="reencode", shard=meta.shard,
+                on_done=(lambda e=encoded:
+                         store.put(e, epoch=epoch, charge=False)),
+            ))
+        if tasks:
+            jobs.append(BackgroundJob(
+                name=f"reencode:{target.label}", stream=stream,
+                kind="reencode", tasks=tuple(tasks),
+            ))
+    return jobs
+
+
+def retirement_jobs(
+    store: SegmentStore,
+    stream: str,
+    retired: Sequence[StorageFormat],
+) -> List["BackgroundJob"]:  # noqa: F821
+    """Delete every stored segment of the formats the new plan dropped.
+
+    Deletes are metadata operations: each costs one request overhead on
+    the segment's shard channel, and the ``on_done`` hook performs the
+    actual :meth:`SegmentStore.delete` at the simulated instant.
+    """
+    from repro.query.scheduler import BackgroundJob, ResourceTask
+
+    jobs: List[BackgroundJob] = []
+    for fmt in retired:
+        tasks: List[ResourceTask] = []
+        for index in store.indices(stream, fmt):
+            shard = store.shard_of(stream, fmt, index)
+            disk = _shard_disk(store, shard)
+            tasks.append(ResourceTask(
+                kind="delete", resource="disk", units=1,
+                duration=disk.request_overhead,
+                category="disk", operator="retire", shard=shard,
+                on_done=(lambda s=stream, f=fmt, i=index:
+                         store.delete(s, f, i)),
+            ))
+        if tasks:
+            jobs.append(BackgroundJob(
+                name=f"retire:{fmt.label}", stream=stream,
+                kind="retire", tasks=tuple(tasks),
+            ))
+    return jobs
+
+
+def erosion_jobs(
+    store: SegmentStore,
+    stream: str,
+    deleted_fraction: Mapping[Tuple[int, StorageFormat], float],
+    now_seconds: float,
+    lifespan_days: int,
+    segment_seconds: float = SEGMENT_SECONDS,
+) -> List["BackgroundJob"]:  # noqa: F821
+    """Erosion deletes as one background job, mirroring the foreground path.
+
+    Selects exactly the victims :func:`~repro.storage.lifespan.apply_erosion_step`
+    would delete (same format/age iteration order, same erosion-rank rule,
+    footage past the lifespan dropped entirely) and wraps each in a delete
+    task whose ``on_done`` performs the store delete — so aging can run
+    concurrently with queries instead of stopping the world.
+    """
+    from repro.query.scheduler import BackgroundJob, ResourceTask
+
+    tracker = AgeTracker(now_seconds, segment_seconds)
+    tasks: List[ResourceTask] = []
+    for fmt in store.formats(stream):
+        by_age = tracker.ages(store.indices(stream, fmt))
+        for age, indices in by_age.items():
+            if age > lifespan_days:
+                fraction = 1.0
+            else:
+                fraction = deleted_fraction.get((age, fmt), 0.0)
+            if fraction <= 0.0:
+                continue
+            for i in indices:
+                if erosion_rank(i) < fraction:
+                    shard = store.shard_of(stream, fmt, i)
+                    disk = _shard_disk(store, shard)
+                    tasks.append(ResourceTask(
+                        kind="delete", resource="disk", units=1,
+                        duration=disk.request_overhead,
+                        category="disk", operator="erode", shard=shard,
+                        on_done=(lambda s=stream, f=fmt, idx=i:
+                                 store.delete(s, f, idx)),
+                    ))
+    if not tasks:
+        return []
+    return [BackgroundJob(name=f"erode:{stream}", stream=stream,
+                          kind="erode", tasks=tuple(tasks))]
+
+
+def rebalance_jobs(store: SegmentStore) -> List["BackgroundJob"]:  # noqa: F821
+    """Shard migrations as background jobs (the online ``rebalance()``).
+
+    Plans the same greedy move list the foreground
+    :meth:`SegmentStore.rebalance` applies, but pays each move's source
+    read and destination write on the executor's shard channel pools; the
+    write's ``on_done`` commits the placement via
+    :meth:`SegmentStore.commit_move` (bookkeeping only, no double charge).
+    One job per stream keeps a stream's moves serial while streams migrate
+    concurrently.
+    """
+    from repro.query.scheduler import BackgroundJob, ResourceTask
+
+    if store.array is None or store.array.n_shards <= 1:
+        return []
+    array = store.array
+    by_stream: Dict[str, List[ResourceTask]] = {}
+    for (stream, fmt_text, index), src, dst in plan_rebalance(
+        array.assignments(), array.n_shards
+    ):
+        # Same-package reach into the store's key/meta helpers: moves are
+        # keyed by escaped format text, which has no public meta lookup.
+        nbytes = store._read_meta(
+            store._key_text(stream, fmt_text, index)
+        )["size_bytes"]
+        src_disk, dst_disk = array.shard(src), array.shard(dst)
+        tasks = by_stream.setdefault(stream, [])
+        tasks.append(ResourceTask(
+            kind="read", resource="disk", units=1,
+            duration=nbytes / src_disk.read_bandwidth
+            + src_disk.request_overhead,
+            category="disk", operator="migrate", shard=src,
+        ))
+        tasks.append(ResourceTask(
+            kind="write", resource="disk", units=1,
+            duration=nbytes / dst_disk.write_bandwidth
+            + dst_disk.request_overhead,
+            category="disk", operator="migrate", shard=dst,
+            on_done=(lambda s=stream, f=fmt_text, i=index, d=dst:
+                     store.commit_move(s, f, i, d)),
+        ))
+    return [
+        BackgroundJob(name=f"migrate:{stream}", stream=stream,
+                      kind="migrate", tasks=tuple(tasks))
+        for stream, tasks in by_stream.items()
+    ]
+
+
+@dataclass
+class EvolutionReport:
+    """Outcome of one ``VStore.evolve_online`` round."""
+
+    replan: ReplanResult
+    epoch: int
+    #: Every outcome of the shared run, in admission order (foreground
+    #: queries and background jobs; tell them apart by ``session.klass``).
+    outcomes: List
+    stats: object  # ExecutorStats of the shared run
+    reencoded_segments: int
+    retired_segments: int
+
+    @property
+    def foreground(self) -> List:
+        return [o for o in self.outcomes if o.session.klass == 0]
+
+    @property
+    def jobs(self) -> List:
+        return [o for o in self.outcomes if o.session.klass != 0]

@@ -29,6 +29,14 @@ from repro.core.config import (
     DEFAULT_PROFILE_DATASETS,
     derive_configuration,
 )
+from repro.core.drift import DriftDetector
+from repro.core.evolve import (
+    EvolutionReport,
+    erosion_jobs,
+    reencode_jobs,
+    replan_incremental,
+    retirement_jobs,
+)
 from repro.errors import ConfigurationError, QueryError, StorageError
 from repro.ingest.budget import IngestBudget
 from repro.ingest.pipeline import IngestionPipeline, IngestionReport
@@ -69,6 +77,14 @@ class VStore:
         self._config: Optional[Configuration] = None
         self._pipelines: Dict[str, IngestionPipeline] = {}
         self._closed = False
+        self._shards = shards
+        self._placement = placement
+        self._cache_config = cache_config
+
+        #: Sliding-window demand estimator over executed queries; fed by
+        #: :meth:`execute_many` and read by :meth:`evolve_online` to decide
+        #: whether (and toward which consumer mix) to evolve.
+        self.drift = DriftDetector()
 
         # The tiered retrieval cache spans the whole store; passing any
         # CacheConfig enables it (None keeps the uncached read path).
@@ -112,6 +128,33 @@ class VStore:
         if self._kv is not None:
             self._kv.flush()
 
+    def reopen(self) -> None:
+        """Close and reopen the backing store (a simulated restart).
+
+        Re-handles the segment log, rebuilds the sharded placement map
+        from persisted metadata, and rolls back any format epoch that
+        never committed — the crash-recovery path an interrupted
+        :meth:`evolve_online` relies on.  A fresh cache plane is installed
+        (cached artifacts do not survive a restart); the derived
+        configuration and the simulated clock are kept.
+        """
+        if self.workdir is None:
+            raise StorageError("reopen requires a workdir-backed store")
+        if self._kv is not None:
+            self._kv.close()
+        self._closed = False
+        self.disk_array = ShardedDiskArray(
+            self._shards, placement=self._placement, clock=self.clock
+        )
+        self._kv = KVStore(os.path.join(self.workdir, "segments.vstore"))
+        self.segments = SegmentStore(self._kv, self.disk_array)
+        self.cache = (
+            CachePlane(self._cache_config)
+            if self._cache_config is not None else None
+        )
+        self.segments.cache = self.cache
+        self._pipelines.clear()
+
     def reopen_after_fork(self) -> None:
         """Re-handle the backing log in a forked worker process.
 
@@ -137,17 +180,26 @@ class VStore:
 
     # -- configuration -------------------------------------------------------------
 
-    def configure(self, force: bool = False) -> Configuration:
-        """Derive (or return the cached) video-format configuration."""
-        if self._config is None or force:
+    def configure(self, force: bool = False,
+                  consumers: Optional[List] = None) -> Configuration:
+        """Derive (or return the cached) video-format configuration.
+
+        ``consumers`` restricts the derivation to an explicit consumer set
+        (defaults to every consumer the library declares) — drift scenarios
+        configure phase-1 consumers here and let :meth:`evolve_online`
+        admit the rest later.
+        """
+        if self._config is None or force or consumers is not None:
             self._config = derive_configuration(
                 self.library,
+                consumers=consumers,
                 profile_datasets=self.profile_datasets,
                 ingest_budget=self.ingest_budget,
                 storage_budget_bytes=self.storage_budget_bytes,
                 lifespan_days=self.lifespan_days,
                 clock=self.clock,
             )
+            self.drift.rebase(self._config.consumers)
         return self._config
 
     @property
@@ -278,6 +330,16 @@ class VStore:
             self._check_open()
             return run_fleets(self, specs, parallel, **kwargs)
         executor = self.executor(**kwargs)
+        self._admit_specs(executor, specs)
+        outcomes = executor.run()
+        # Cross-layer feedback: fold the finished queries into the drift
+        # detector's sliding demand window (observation only — it cannot
+        # change scheduling, so outcomes stay bit-identical).
+        self.drift.observe_run(outcomes)
+        return outcomes
+
+    @staticmethod
+    def _admit_specs(executor: "ConcurrentExecutor", specs) -> None:
         for spec in specs:
             spec = dict(spec)
             query = spec.pop("query")
@@ -287,7 +349,138 @@ class VStore:
                 query, spec.pop("dataset"), spec.pop("accuracy"),
                 spec.pop("t0"), spec.pop("t1"), **spec
             )
-        return executor.run()
+
+    # -- online evolution -----------------------------------------------------------
+
+    def adopt(self, configuration: Configuration) -> None:
+        """Swap in an externally built configuration without re-deriving.
+
+        The Section-7 stopgap path: a frozen store answering a drifted mix
+        adopts :func:`~repro.core.evolve.legacy_configuration`'s result —
+        same format set as what is on disk, new consumers subscribed to
+        existing formats.  Cached ingestion pipelines are dropped.  The
+        drift baseline is deliberately *not* re-pinned: a stopgap adoption
+        is exactly the situation where the detector must keep measuring
+        the live mix against what the plan was actually derived for.
+        """
+        self._config = configuration
+        self._pipelines.clear()
+
+    def evolve_online(self, consumers: Optional[List] = None,
+                      foreground=(), **executor_kwargs) -> EvolutionReport:
+        """Evolve the configuration toward a drifted mix, without downtime.
+
+        The incremental planner (:func:`~repro.core.evolve.replan_incremental`)
+        hill-climbs a new plan from the current one — warm-started via the
+        configuration's coding-profiler memos — for ``consumers``
+        (defaulting to the drift detector's observed mix).  New storage
+        formats are materialized by background re-encode jobs that contend
+        honestly with any ``foreground`` query specs (same format as
+        :meth:`execute_many`) on one shared executor, in scheduling class 1
+        so foreground work always wins ties.  Writes are tagged with an
+        uncommitted format epoch; the epoch commits only after every job
+        finished, so a crash mid-evolution rolls back cleanly at reopen
+        (see :meth:`reopen`).  Only then is the new configuration adopted,
+        dropped formats are retired, and the drift baseline is re-pinned.
+        """
+        self._check_open()
+        if self.segments is None:
+            raise ConfigurationError(
+                "online evolution requires a workdir-backed store"
+            )
+        config = self.configuration
+        if consumers is None:
+            consumers = self.drift.demanded_consumers() or list(config.consumers)
+        replan = replan_incremental(
+            config, self.library, consumers,
+            profile_datasets=self.profile_datasets,
+            ingest_budget=self.ingest_budget,
+            storage_budget_bytes=self.storage_budget_bytes,
+            lifespan_days=self.lifespan_days,
+            clock=self.clock,
+        )
+
+        epoch = self.segments.begin_epoch()
+        golden = config.plan.golden.fmt
+        new_formats = [sf.fmt for sf in replan.added]
+        jobs = []
+        for stream in self.segments.streams():
+            jobs.extend(reencode_jobs(
+                self.segments, stream, new_formats, golden, epoch=epoch
+            ))
+
+        executor = self.executor(**executor_kwargs)
+        self._admit_specs(executor, foreground)
+        for job in jobs:
+            executor.admit_job(job)
+        outcomes = executor.run() if (jobs or foreground) else []
+        stats = executor.stats()
+        self.drift.observe_run(outcomes)
+        self.segments.commit_epoch(epoch)
+
+        # Retire dropped formats only after the new plan is committed — a
+        # crash between commit and retirement leaves harmless extra bytes,
+        # never a half-materialized format.
+        retired_formats = [sf.fmt for sf in replan.removed]
+        retired = 0
+        if retired_formats:
+            cleaner = self.executor(**executor_kwargs)
+            retire = []
+            for stream in self.segments.streams():
+                retire.extend(retirement_jobs(
+                    self.segments, stream, retired_formats
+                ))
+            if retire:
+                for job in retire:
+                    cleaner.admit_job(job)
+                outcomes = outcomes + cleaner.run()
+                retired = sum(len(j.tasks) for j in retire)
+
+        self._config = replan.configuration
+        self._pipelines.clear()
+        self.drift.rebase(replan.configuration.consumers)
+        return EvolutionReport(
+            replan=replan,
+            epoch=epoch,
+            outcomes=outcomes,
+            stats=stats,
+            reencoded_segments=sum(
+                1 for j in jobs for t in j.tasks if t.kind == "write"
+            ),
+            retired_segments=retired,
+        )
+
+    def age_online(self, dataset: str, now_seconds: float,
+                   foreground=(), **executor_kwargs):
+        """Erosion as background jobs sharing the executor with queries.
+
+        Selects exactly the victims :meth:`age` would delete, but pays each
+        delete's request overhead on the executor's shard channel pools in
+        scheduling class 1, committing the store deletes at the simulated
+        completion instants.  Returns ``(deletions, outcomes)`` — the
+        deletions made and every outcome of the shared run in admission
+        order (foreground queries first, then the erosion job).
+        """
+        self._check_open()
+        if self.segments is None:
+            raise ConfigurationError("aging requires a workdir-backed store")
+        config = self.configuration
+        jobs = []
+        if config.erosion is not None:
+            fraction_map = config.erosion.deleted_fraction_map(
+                config.plan.formats
+            )
+            jobs = erosion_jobs(
+                self.segments, dataset, fraction_map, now_seconds,
+                self.lifespan_days,
+            )
+        executor = self.executor(**executor_kwargs)
+        self._admit_specs(executor, foreground)
+        for job in jobs:
+            executor.admit_job(job)
+        outcomes = executor.run() if (jobs or foreground) else []
+        self.drift.observe_run(outcomes)
+        return sum(len(j.tasks) for j in jobs), outcomes
 
     # -- caching --------------------------------------------------------------------
 

@@ -23,7 +23,11 @@ Qualification (checked once, recorded as ``ExecutorStats.core ==
   and priority callbacks vanish into one float per session;
 * every session runs one context and every task requests one unit — true
   for all ``contexts=1`` admissions — so "fits" degenerates to
-  ``free > 0`` and capacity parking cannot occur.
+  ``free > 0`` and capacity parking cannot occur;
+* every session is foreground (class 0) and no task carries an
+  ``on_done`` hook — background evolution jobs band the priority key and
+  commit store mutations at completion, both of which only the general
+  core implements.
 
 Lowering happens per *plan*, not per session, and is cached on the plan
 object (keyed on the stage tuple's identity and the store's shard
@@ -118,6 +122,8 @@ def _lower_plan(plan: "QueryPlan", disk_shards: int) -> Optional[_Chain]:
     for task in plan.tasks:
         if task.units != 1:
             break  # multi-unit gang: parking semantics -> general core
+        if task.on_done is not None:
+            break  # completion hooks (background jobs) -> general core
         name = task.resource
         if name == "disk" and disk_shards > 1:
             name = f"disk:{task.shard % disk_shards}"
@@ -152,6 +158,8 @@ def lower_fleet(executor: "ConcurrentExecutor") -> Optional[_Fleet]:
     k0: List[float] = []
     lowered: Dict[int, Optional[_Chain]] = {}
     for session in sessions:
+        if session.klass != 0:
+            return None  # background jobs band the priority key
         if session.contexts != 1:
             return None  # gangs may park on the operator pool
         plan = session.plan

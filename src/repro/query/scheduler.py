@@ -34,7 +34,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.cache.plane import CachePlane, RetrievalAccess
 from repro.clock import SimClock
@@ -179,6 +187,14 @@ class ResourceTask:
     #: Disk shard serving a "disk" retrieval (0 on unsharded stores);
     #: the executor routes the task onto that shard's channel pool.
     shard: int = 0
+    #: Completion hook, fired at the simulated instant the task finishes.
+    #: Background evolution jobs commit their side effect here — a store
+    #: put, delete, or placement move — so store mutations land in event
+    #: order on the shared timeline.  Excluded from equality/repr: a hook
+    #: is a runtime attachment, not part of the planned task's value.
+    on_done: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
 
 @dataclass(frozen=True)
@@ -343,6 +359,12 @@ class QuerySession:
     #: bumps it whenever attained service changes, so ready-heap entries
     #: can detect a stale priority key (lazy invalidation).
     prio_version: int = 0
+    #: Scheduling class: 0 = foreground query, 1 = background evolution
+    #: job.  Both cores prepend it to every policy priority key, so a
+    #: background task is granted only when no foreground task fits the
+    #: free capacity.  All-foreground fleets get a constant prefix, which
+    #: leaves their schedules (and the golden traces) bit-identical.
+    klass: int = 0
 
     @property
     def label(self) -> str:
@@ -357,6 +379,25 @@ class QuerySession:
         if self.finished_at is None:
             return None
         return self.finished_at - self.admitted_at
+
+
+@dataclass(frozen=True)
+class BackgroundJob:
+    """One background evolution job: a serial chain of resource tasks.
+
+    Jobs are how erosion deletes, format re-encodes and shard migrations
+    enter the executor (``admit_job``): they wait in the same per-resource
+    queues as query tasks, hold the same pool units and charge the same
+    clock — but in scheduling class 1, so any foreground task that fits
+    the free capacity is granted first.  Each task's ``on_done`` hook
+    commits the corresponding store mutation at the simulated instant the
+    work finished (see :mod:`repro.core.evolve` for the job builders).
+    """
+
+    name: str  # shows up as the session label's query name
+    stream: str
+    kind: str  # "reencode" | "erode" | "migrate" | "retire"
+    tasks: Tuple[ResourceTask, ...]
 
 
 @dataclass(frozen=True)
@@ -680,6 +721,55 @@ class ConcurrentExecutor:
         self._sessions.append(session)
         return session
 
+    def admit_job(self, job: BackgroundJob,
+                  deadline: Optional[float] = None) -> QuerySession:
+        """Admit one background evolution job as a low-priority gang.
+
+        The job becomes a session in scheduling class 1: its serial task
+        chain contends honestly for the disk/decoder pools — waiting when
+        they are full, holding units while running — but any foreground
+        task that fits free capacity is granted first.  ``run()`` returns
+        its outcome alongside the queries' (``video_seconds`` is 0, so
+        analysis code can tell jobs and queries apart by ``session.klass``).
+        """
+        if self._ran:
+            raise QueryError("executor already ran; create a new one")
+        if not job.tasks:
+            raise QueryError(f"background job {job.name!r} has no tasks")
+        for task in job.tasks:
+            pool = self._pools.get(self._resource_name(task))
+            if (pool is not None and pool.capacity is not None
+                    and task.units > pool.capacity):
+                raise QueryError(
+                    f"background job {job.name!r} needs {task.units} units "
+                    f"of {task.resource!r} but the pool holds only "
+                    f"{pool.capacity}"
+                )
+        plan = QueryPlan(
+            label=job.name,
+            dataset=job.stream,
+            stream=job.stream,
+            video_seconds=0.0,
+            stages=(StagePlan(operator=job.kind, tasks=job.tasks,
+                              touched=len(job.tasks), positives=0),),
+        )
+        session = QuerySession(
+            qid=len(self._sessions),
+            query=job,
+            dataset=job.stream,
+            stream=job.stream,
+            accuracy=0.0,
+            t0=0.0,
+            t1=0.0,
+            contexts=1,
+            deadline=deadline,
+            plan=plan,
+            admitted_at=self.clock.now,
+            klass=1,
+        )
+        self._sessions.append(session)
+        return session
+
     @property
     def sessions(self) -> List[QuerySession]:
         return list(self._sessions)
@@ -716,7 +806,11 @@ class ConcurrentExecutor:
             chain: List[_RunTask] = []
             for stage in session.plan.stages:
                 for task in stage.tasks:
-                    if task.kind == "retrieve":
+                    if task.kind != "consume":
+                        # Retrievals, plus every background-job task kind
+                        # ("read"/"transcode"/"write"/"delete"): all route
+                        # through shard-aware resource naming; job tasks
+                        # carry no cache access, so they map verbatim.
                         rt = self._runtime_retrieve(task, uid, single_flight,
                                                     frame_leaders)
                     else:
@@ -819,7 +913,13 @@ class ConcurrentExecutor:
         })
 
     def _task_completed(self, rt: _RunTask) -> None:
-        """Cache bookkeeping when a runtime task finishes in simulated time."""
+        """Cache/job bookkeeping when a runtime task finishes in simulated
+        time."""
+        if rt.task.on_done is not None:
+            # Background jobs commit their store side effect here, at the
+            # simulated instant the work completed — before any cache
+            # bookkeeping, and regardless of whether a cache is attached.
+            rt.task.on_done()
         if self.cache is None:
             return
         if rt.commit_access is not None:
@@ -967,7 +1067,12 @@ class ConcurrentExecutor:
         policy = self.policy
         pools = self._pools
         ready = ReadyHeapIndex(
-            priority=lambda w: policy.priority(w.session, w.task, w.seq),
+            # The scheduling class bands the policy key: background
+            # evolution jobs (klass 1) sort after every foreground task.
+            priority=lambda w: (
+                (w.session.klass,)
+                + tuple(policy.priority(w.session, w.task, w.seq))
+            ),
             version=lambda w: w.session.prio_version,
             free_units=lambda resource: pools[resource].free,
         )
@@ -1079,7 +1184,11 @@ class ConcurrentExecutor:
                     return
                 w = min(
                     fitting,
+                    # The class band mirrors the heap core's: a constant
+                    # prefix for all-foreground fleets, so pre-existing
+                    # schedules are unchanged.
                     key=lambda w: (
+                        w.session.klass,
                         self.policy.priority(w.session, w.task, w.seq),
                         w.seq,
                     ),

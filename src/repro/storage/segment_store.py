@@ -4,6 +4,14 @@ Keys are ``{stream}/{format-label}/{segment-index}``.  Each value is a small
 JSON metadata record optionally followed by the segment payload.  The store
 tracks per-(stream, format) footprints so storage-cost experiments can read
 them off without scanning.
+
+Store-level records live under the reserved ``__vstore__/`` key prefix
+(stream names may not start with it); today that holds the committed
+*format epoch*.  Online evolution writes re-encoded segments tagged with
+the next epoch, commits the epoch only after every job finished, and any
+segment tagged above the committed epoch is rolled back at open — so a
+reopen after an interrupted migration never observes a half-materialized
+format (see :meth:`SegmentStore.begin_epoch` / :meth:`commit_epoch`).
 """
 
 from __future__ import annotations
@@ -24,6 +32,12 @@ from repro.video.format import StorageFormat
 from repro.video.segment import Segment
 
 _SEPARATOR = b"\x00"
+
+#: Reserved prefix for store-level metadata records.  Segment keys never
+#: start with it (``put`` rejects such stream names), and every full-key
+#: scan skips it.
+_META_PREFIX = "__vstore__/"
+_EPOCH_KEY = _META_PREFIX + "epoch"
 
 
 @dataclass(frozen=True)
@@ -103,7 +117,13 @@ class SegmentStore:
         self._footprint: Dict[Tuple[str, str], int] = {}
         self._count: Dict[Tuple[str, str], int] = {}
         self._migrate_legacy_keys()
+        self._rollback_uncommitted()
         self._load_footprints()
+
+    def _data_keys(self, prefix: str = "") -> List[str]:
+        """All segment keys (skips the reserved ``__vstore__/`` records)."""
+        return [key for key in self.kv.keys(prefix)
+                if not key.startswith(_META_PREFIX)]
 
     def _invalidate_cache(self, stream: str, index: int) -> None:
         if self.cache is not None:
@@ -118,7 +138,7 @@ class SegmentStore:
         every lookup (meta/get/contains/indices/delete/...) working on old
         stores without per-access compatibility paths.
         """
-        legacy = [key for key in list(self.kv.keys())
+        legacy = [key for key in self._data_keys()
                   if "|" in self._split_key(key)[1]]
         for key in legacy:
             stream, fmt_text, index = self._split_key(key)
@@ -126,8 +146,54 @@ class SegmentStore:
             self.kv.put(new_key, self.kv.get(key))
             self.kv.delete(key)
 
+    # -- format epochs (crash-safe online evolution) ----------------------------
+
+    @property
+    def committed_epoch(self) -> int:
+        """The highest format epoch whose segments survive a reopen."""
+        blob = self.kv.get_optional(_EPOCH_KEY)
+        return 0 if blob is None else int(blob.decode("utf-8"))
+
+    def begin_epoch(self) -> int:
+        """The epoch an evolution job should tag its writes with.
+
+        Nothing is persisted here — an interrupted job whose epoch never
+        committed simply leaves segments above ``committed_epoch``, which
+        the next open rolls back.
+        """
+        return self.committed_epoch + 1
+
+    def commit_epoch(self, epoch: int) -> None:
+        """Persist that every segment of ``epoch`` is complete (flushes).
+
+        After this point a reopen keeps the epoch's segments; before it,
+        they are rolled back as half-migrated.
+        """
+        if epoch < self.committed_epoch:
+            raise StorageError(
+                f"cannot commit epoch {epoch}: epoch "
+                f"{self.committed_epoch} is already committed"
+            )
+        self.kv.put(_EPOCH_KEY, str(int(epoch)).encode("utf-8"))
+        self.kv.flush()
+
+    def _rollback_uncommitted(self) -> None:
+        """Drop segments written under an epoch that never committed.
+
+        An interrupted evolution run leaves a half-migrated format: some
+        segments re-encoded at epoch N+1, the rest missing.  Serving such
+        a format would silently violate the consumers' retrieval contract,
+        so every segment tagged above the committed epoch is deleted at
+        open — before footprints and shard placements are loaded, as if
+        the aborted migration never happened.
+        """
+        committed = self.committed_epoch
+        for key in self._data_keys():
+            if self._read_meta(key).get("epoch", 0) > committed:
+                self.kv.delete(key)
+
     def _load_footprints(self) -> None:
-        for key in self.kv.keys():
+        for key in self._data_keys():
             stream, fmt_text, index = self._split_key(key)
             meta = self._read_meta(key)
             bucket = (stream, fmt_text)
@@ -162,15 +228,27 @@ class SegmentStore:
 
     # -- writes -----------------------------------------------------------------
 
-    def put(self, encoded: EncodedSegment) -> None:
+    def put(self, encoded: EncodedSegment, *, epoch: Optional[int] = None,
+            charge: bool = True) -> None:
         """Store an encoded segment (metadata + optional payload).
 
         On a sharded store the placement policy assigns (or re-finds) the
         segment's shard; the write is charged to that shard and the shard
         id is persisted in the metadata record so placement survives
         reopen.
+
+        Online evolution tags its writes with the in-flight format
+        ``epoch`` (rolled back at open unless committed) and passes
+        ``charge=False``: a background job's write time was already paid
+        on the executor's channel pools, so charging the clock again here
+        would double-count the I/O.
         """
         stream, index = encoded.segment.stream, encoded.segment.index
+        if stream.startswith(_META_PREFIX.rstrip("/")):
+            raise StorageError(
+                f"stream name {stream!r} collides with the reserved "
+                f"{_META_PREFIX!r} key prefix"
+            )
         shard = 0
         if self.array is not None:
             shard = self.array.place(stream, _fmt_key(encoded.fmt), index,
@@ -183,16 +261,19 @@ class SegmentStore:
             "payload": encoded.payload is not None,
             "shard": shard,
         }
+        if epoch is not None:
+            meta["epoch"] = int(epoch)
         blob = json.dumps(meta).encode("utf-8") + _SEPARATOR
         if encoded.payload is not None:
             blob += encoded.payload
         key = self._key(stream, encoded.fmt, index)
         existed = key in self.kv
         self.kv.put(key, blob)
-        if self.array is not None:
-            self.array.write_at(shard, encoded.size_bytes)
-        else:
-            self.disk.write(encoded.size_bytes)
+        if charge:
+            if self.array is not None:
+                self.array.write_at(shard, encoded.size_bytes)
+            else:
+                self.disk.write(encoded.size_bytes)
         self._invalidate_cache(encoded.segment.stream, encoded.segment.index)
         bucket = (encoded.segment.stream, _fmt_key(encoded.fmt))
         if existed:
@@ -283,6 +364,10 @@ class SegmentStore:
             seen.setdefault(fmt_text, _parse_fmt(fmt_text))
         return list(seen.values())
 
+    def streams(self) -> List[str]:
+        """Sorted stream names with at least one stored segment."""
+        return sorted({stream for stream, _ in self._footprint})
+
     # -- deletes ------------------------------------------------------------------
 
     def delete(self, stream: str, fmt: StorageFormat, index: int) -> bool:
@@ -344,6 +429,27 @@ class SegmentStore:
             disk = self.array.shard(self.shard_of(stream, fmt, index))
             return disk.read_bandwidth, disk.request_overhead
         return self.disk.read_bandwidth, self.disk.request_overhead
+
+    def commit_move(self, stream: str, fmt_text: str, index: int,
+                    dst: int) -> None:
+        """Reassign a segment's shard and persist it, without charging I/O.
+
+        The background-migration path: a shard-migration job's read and
+        write tasks already paid their time on the executor's channel
+        pools, so when the write completes only the bookkeeping remains —
+        the array's placement map and the metadata record's shard field.
+        (:meth:`rebalance` is the foreground path that charges the clock
+        itself.)
+        """
+        if self.array is None:
+            return
+        key = self._key_text(stream, fmt_text, index)
+        blob = self.kv.get(key)
+        head, _, body = blob.partition(_SEPARATOR)
+        meta = json.loads(head.decode("utf-8"))
+        self.array.reassign(stream, fmt_text, index, dst)
+        meta["shard"] = dst
+        self.kv.put(key, json.dumps(meta).encode("utf-8") + _SEPARATOR + body)
 
     def rebalance(self) -> RebalanceReport:
         """Move segments between shards until byte loads are balanced.

@@ -1,0 +1,92 @@
+"""The regret-vs-oracle drift report (repro.analysis.drift).
+
+The default scenario is the PR's acceptance bar: online evolution must
+recover at least 60% of the oracle's retrieval-cost advantage over the
+frozen plan on the two-phase drift workload.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.drift import (
+    DRIFT_PHASE1,
+    DRIFT_PHASE2,
+    drift_regret_report,
+    format_drift_table,
+    retrieval_seconds,
+)
+from repro.errors import ConfigurationError
+
+RECOVERY_FLOOR = 0.60
+
+
+@pytest.fixture(scope="module")
+def report():
+    return drift_regret_report()
+
+
+def test_online_recovers_enough_of_the_oracle_advantage(report):
+    assert report.drifted
+    assert report.drift_score > 0.25
+    # The frozen plan really pays for serving A-ops off the rich golden
+    # format, and the oracle really is the floor.
+    assert report.oracle_seconds < report.online_seconds
+    assert report.online_seconds < report.frozen_seconds
+    assert report.oracle_advantage > 0
+    assert report.recovery >= RECOVERY_FLOOR
+
+
+def test_evolution_summary_is_populated(report):
+    ev = report.evolution
+    assert ev is not None
+    assert ev.epoch == 1
+    assert ev.added  # the drifted mix needed at least one new format
+    assert ev.reencoded_segments == report.n_segments * len(ev.added)
+    assert ev.foreground_queries > 0
+
+
+def test_phases_are_the_benchmark_queries(report):
+    assert report.phase1 == DRIFT_PHASE1
+    assert report.phase2 == DRIFT_PHASE2
+    assert {c.operator for c in report.phase1} == {
+        "Motion", "License", "OCR"}
+    assert {c.operator for c in report.phase2} == {"Diff", "S-NN", "NN"}
+
+
+def test_format_drift_table(report):
+    text = format_drift_table(report)
+    assert "frozen" in text and "oracle" in text and "online" in text
+    assert "recovered" in text
+    assert "drifted" in text
+    for label in report.evolution.added:
+        assert label in text
+
+
+def test_offline_report_skips_the_online_arm():
+    report = drift_regret_report(online=False, phase2_queries=4,
+                                 detection_queries=1)
+    assert report.online_seconds is None
+    assert report.recovery is None
+    assert report.evolution is None
+    assert report.frozen_seconds > report.oracle_seconds
+    text = format_drift_table(report)
+    assert "online" not in text.split("arm", 1)[1].splitlines()[1]
+
+
+def test_degenerate_query_budget_rejected():
+    with pytest.raises(ConfigurationError):
+        drift_regret_report(phase2_queries=4, detection_queries=4,
+                            evolution_foreground=2)
+
+
+def test_retrieval_seconds_ignores_background_outcomes():
+    task = SimpleNamespace(kind="retrieve", duration=3.0)
+    stage = SimpleNamespace(tasks=[task])
+
+    def outcome(klass):
+        session = SimpleNamespace(klass=klass,
+                                  plan=SimpleNamespace(stages=[stage]))
+        return SimpleNamespace(session=session)
+
+    assert retrieval_seconds([outcome(0), outcome(1)]) == 3.0

@@ -1,0 +1,144 @@
+"""Unit tests for the query-mix drift detector (the evolution trigger)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.drift import DriftDetector
+from repro.operators.library import Consumer
+
+
+def _outcome(operator: str, accuracy: float = 0.9, stream: str = "cam",
+             seconds: float = 1.0, klass: int = 0):
+    """A minimal stand-in for a QueryOutcome: one single-stage plan whose
+    task durations sum to ``seconds``."""
+    task = SimpleNamespace(duration=seconds)
+    stage = SimpleNamespace(operator=operator, tasks=[task])
+    session = SimpleNamespace(
+        klass=klass, accuracy=accuracy, stream=stream,
+        plan=SimpleNamespace(stages=[stage]),
+    )
+    return SimpleNamespace(session=session)
+
+
+def test_empty_detector_is_quiet():
+    d = DriftDetector()
+    assert d.samples == 0
+    assert d.drift_score() == 0.0
+    assert not d.drifted
+
+
+def test_unrebased_window_scores_full_drift():
+    d = DriftDetector(min_samples=2)
+    d.observe(_outcome("Diff"))
+    d.observe(_outcome("Diff"))
+    # Never rebased: everything the window wants is unanticipated.
+    assert d.drift_score() == 1.0
+    assert d.drifted
+
+
+def test_pending_rebase_pins_from_first_window():
+    d = DriftDetector(min_samples=3)
+    d.rebase()  # empty window: baseline pins itself later
+    d.observe(_outcome("Diff"))
+    d.observe(_outcome("NN"))
+    assert d.drift_score() == 0.0  # still pending
+    assert not d.drifted
+    d.observe(_outcome("Diff"))
+    # min_samples reached: the observed mix became the baseline.
+    assert d.drift_score() == 0.0
+    assert not d.drifted
+
+
+def test_stationary_mix_never_drifts():
+    d = DriftDetector(min_samples=4)
+    d.rebase()
+    for _ in range(20):
+        d.observe(_outcome("Motion"))
+        d.observe(_outcome("OCR"))
+        assert d.drift_score() == pytest.approx(0.0)
+    assert not d.drifted
+
+
+def test_disjoint_mix_drifts():
+    d = DriftDetector(window=8, min_samples=4)
+    d.rebase()
+    for _ in range(8):
+        d.observe(_outcome("Motion"))
+    assert not d.drifted
+    for _ in range(8):
+        d.observe(_outcome("Diff"))
+    # The window now holds only Diff demand; the baseline only Motion.
+    assert d.drift_score() == pytest.approx(1.0)
+    assert d.drifted
+
+
+def test_partial_shift_scores_between():
+    d = DriftDetector(window=8, min_samples=2)
+    d.rebase()
+    for _ in range(8):
+        d.observe(_outcome("Motion"))
+    for _ in range(4):
+        d.observe(_outcome("Diff"))
+    # Half of the window's mass moved to an unanticipated consumer.
+    assert d.drift_score() == pytest.approx(0.5)
+
+
+def test_background_outcomes_are_skipped():
+    d = DriftDetector(min_samples=1)
+    d.rebase()
+    d.observe(_outcome("reencode", klass=1, seconds=100.0))
+    assert d.samples == 0
+    assert d.demand_by_consumer() == {}
+
+
+def test_window_trims_to_length():
+    d = DriftDetector(window=4)
+    for i in range(10):
+        d.observe(_outcome("Diff", stream=f"cam{i}"))
+    assert d.samples == 4
+    assert set(d.demand_by_stream()) == {f"cam{i}" for i in range(6, 10)}
+
+
+def test_demanded_consumers_heaviest_first():
+    d = DriftDetector()
+    d.observe(_outcome("Diff", seconds=1.0))
+    d.observe(_outcome("NN", seconds=5.0))
+    d.observe(_outcome("Motion", seconds=2.0))
+    assert d.demanded_consumers() == [
+        Consumer("NN", 0.9), Consumer("Motion", 0.9), Consumer("Diff", 0.9),
+    ]
+
+
+def test_accuracy_is_part_of_the_consumer():
+    d = DriftDetector(window=8, min_samples=2)
+    d.rebase()
+    for _ in range(4):
+        d.observe(_outcome("NN", accuracy=0.9))
+    for _ in range(4):
+        d.observe(_outcome("NN", accuracy=0.7))
+    # Same operator at a new accuracy point is demand drift too.
+    assert d.drift_score() == pytest.approx(0.5)
+
+
+def test_rebase_on_live_window_pins_immediately():
+    d = DriftDetector(min_samples=2)
+    d.observe(_outcome("Diff"))
+    d.observe(_outcome("Diff"))
+    d.rebase()
+    assert d.drift_score() == 0.0
+    d.observe(_outcome("Diff"))
+    assert d.drift_score() == pytest.approx(0.0)
+
+
+def test_min_samples_gates_drifted_flag():
+    d = DriftDetector(min_samples=4)
+    d.rebase()
+    d.observe(_outcome("Diff"))
+    # Score 0 while pending, and too few samples to flag regardless.
+    assert not d.drifted
+    d2 = DriftDetector(min_samples=4)
+    for _ in range(3):
+        d2.observe(_outcome("Diff"))
+    assert d2.drift_score() == 1.0  # unrebased
+    assert not d2.drifted  # but below min_samples

@@ -1,0 +1,128 @@
+"""Property-based tests for the erosion planner (Section 4.4).
+
+Hypothesis drives the decay factor and the storage budget through their
+whole domains; the planner must uphold three invariants everywhere:
+
+* **budget respected** — ``plan(budget)`` never returns a plan whose
+  steady-state footprint exceeds the budget (when the budget is feasible);
+* **monotone in k** — a harsher decay factor never *undeletes*: every
+  per-(age, format) cumulative fraction, the achieved overall speed, and
+  the total footprint move monotonically with k;
+* **bytes conserved** — residual plus deleted bytes always reconstruct
+  the no-decay footprint, for any k (deletion moves bytes, never loses
+  accounting).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coalesce import StorageFormatPlanner
+from repro.core.consumption import ConsumptionPlanner
+from repro.core.erosion import ErosionPlanner, power_law_target
+from repro.errors import ErosionError
+from repro.operators.library import Consumer
+from repro.profiler.coding_profiler import CodingProfiler
+from repro.profiler.profiler import OperatorProfiler
+from repro.units import DAY
+
+
+@pytest.fixture(scope="module")
+def planner(library):
+    cp = ConsumptionPlanner(OperatorProfiler(library, "dashcam"))
+    decisions = cp.derive_all(
+        [Consumer(op, acc)
+         for op in ("Motion", "License", "OCR")
+         for acc in (0.95, 0.9, 0.8, 0.7)]
+    )
+    profiler = CodingProfiler(activity=0.6)
+    plan = StorageFormatPlanner(profiler).heuristic_coalesce(decisions)
+    rates = {sf.label: profiler.profile(sf.fmt).bytes_per_second
+             for sf in plan.formats}
+    return ErosionPlanner(plan.formats, rates, lifespan_days=10)
+
+
+# Planning is a couple of binary searches per age; keep the example count
+# friendly to the tier-1 wall clock.
+_SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@_SETTINGS
+@given(fraction=st.floats(min_value=0.01, max_value=0.99))
+def test_feasible_budget_is_respected(planner, fraction):
+    unbounded = planner.plan(None).total_bytes
+    floor = planner.plan_for_k(16.0).total_bytes
+    budget = floor + fraction * (unbounded - floor)
+    plan = planner.plan(budget)
+    assert plan.total_bytes <= budget * (1 + 1e-12)
+    for (age, _), frac in plan.fractions.items():
+        assert 0.0 <= frac <= 1.0
+        assert 1 <= age <= planner.lifespan_days
+
+
+@_SETTINGS
+@given(k1=st.floats(min_value=0.0, max_value=16.0),
+       k2=st.floats(min_value=0.0, max_value=16.0))
+def test_plans_monotone_in_k(planner, k1, k2):
+    if k1 > k2:
+        k1, k2 = k2, k1
+    gentle, harsh = planner.plan_for_k(k1), planner.plan_for_k(k2)
+    assert harsh.total_bytes <= gentle.total_bytes + 1e-6
+    for key, frac in gentle.fractions.items():
+        assert harsh.fractions[key] >= frac - 1e-6
+    for age in range(1, planner.lifespan_days + 1):
+        assert harsh.overall_speed[age] <= gentle.overall_speed[age] + 1e-6
+
+
+@_SETTINGS
+@given(k=st.floats(min_value=0.0, max_value=16.0))
+def test_total_bytes_conserved(planner, k):
+    plan = planner.plan_for_k(k)
+    day_bytes = {label: planner.bytes_per_second[label] * DAY
+                 for label in plan.labels}
+    full = sum(day_bytes.values()) * planner.lifespan_days
+    deleted = sum(day_bytes[label] * frac
+                  for (_, label), frac in plan.fractions.items())
+    assert plan.total_bytes + deleted == pytest.approx(full, rel=1e-9)
+
+
+@_SETTINGS
+@given(k=st.floats(min_value=0.0, max_value=16.0),
+       pmin=st.floats(min_value=0.0, max_value=1.0),
+       age=st.integers(min_value=1, max_value=3650))
+def test_power_law_target_stays_in_unit_interval(k, pmin, age):
+    value = power_law_target(age, k, pmin)
+    assert 0.0 <= value <= 1.0
+    # Monotone non-increasing in age, bounded below by pmin.
+    assert value >= pmin - 1e-12
+    assert power_law_target(age + 1, k, pmin) <= value + 1e-12
+
+
+@given(age=st.integers(max_value=0))
+def test_power_law_rejects_prehistoric_ages(age):
+    with pytest.raises(ValueError):
+        power_law_target(age, 1.0, 0.1)
+
+
+@pytest.mark.parametrize("k", [-0.5, float("nan"), float("inf")])
+def test_power_law_rejects_invalid_k(k):
+    with pytest.raises(ValueError):
+        power_law_target(1, k, 0.1)
+
+
+@pytest.mark.parametrize("pmin", [-0.1, 1.1, float("nan")])
+def test_power_law_rejects_invalid_pmin(pmin):
+    with pytest.raises(ValueError):
+        power_law_target(1, 1.0, pmin)
+
+
+@pytest.mark.parametrize("budget", [-1.0, float("nan"), -math.inf])
+def test_plan_rejects_invalid_budget(planner, budget):
+    with pytest.raises(ValueError):
+        planner.plan(budget)
+
+
+def test_plan_infeasible_budget_still_raises_erosion_error(planner):
+    with pytest.raises(ErosionError):
+        planner.plan(0.0)
