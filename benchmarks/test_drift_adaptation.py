@@ -101,6 +101,9 @@ def test_drift_smoke_evolution_throughput(bench_metrics, tmp_path_factory):
     assert stats.wall_seconds < SMOKE_WALL_BUDGET
     bench_metrics(
         "drift_adaptation/smoke_evolve",
+        core=stats.core,
+        shards=1,
+        queries=stats.n_queries,
         events=stats.events,
         events_per_second=round(stats.events_per_second),
         wall_seconds=round(stats.wall_seconds, 4),

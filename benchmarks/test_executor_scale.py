@@ -83,6 +83,19 @@ PARALLEL_FLEET_QUERIES = 2048
 SMOKE_QUERIES = 64
 SMOKE_WALL_BUDGET = 5.0
 
+#: The smoke cell backs two bench-diff gates (the 0.30 baseline gate and
+#: the 5% metrics-overhead A/B), and a single ~10 ms run is noise-
+#: dominated on shared CI workers; record the best of this many
+#: back-to-back runs instead.
+SMOKE_REPEATS = 7
+
+#: Smoke cells under the metrics-overhead A/B.  Interleaved detached/
+#: attached pairs in one process are the only sound way to resolve a 5%
+#: effect: back-to-back pytest *sessions* on a shared worker drift by
+#: 30%+ (CPU frequency scaling), which would drown the gate.
+SMOKE_CELL = f"executor_scale/smoke_q{SMOKE_QUERIES}_s4"
+SMOKE_CELL_DETACHED = f"{SMOKE_CELL}_detached"
+
 
 @pytest.fixture(scope="module")
 def fleet(tmp_path_factory):
@@ -125,8 +138,14 @@ def fleet(tmp_path_factory):
         store.close()
 
 
-def _run_fleet(store, plans, n_queries, core, policy=None, fastpath=True):
-    """Admit and run one fleet; returns the executor's stats."""
+def _run_fleet(store, plans, n_queries, core, policy=None, fastpath=True,
+               **executor_kwargs):
+    """Admit and run one fleet; returns the executor's stats.
+
+    ``executor_kwargs`` pass through to ``store.executor`` — the smoke
+    A/B uses ``metrics=None`` / ``metrics=store.metrics`` to force the
+    registry detached or attached regardless of the environment switch.
+    """
     ex = store.executor(
         policy=policy or FairSharePolicy(),
         disk_pool=DiskBandwidthPool(1),  # one I/O channel per shard
@@ -134,6 +153,7 @@ def _run_fleet(store, plans, n_queries, core, policy=None, fastpath=True):
         operator_pool=OperatorContextPool(4),
         core=core,
         fastpath=fastpath,
+        **executor_kwargs,
     )
     for i in range(n_queries):
         stream = f"cam{i % N_STREAMS:02d}"
@@ -153,6 +173,9 @@ def test_executor_scale_sweep(record, bench_metrics, fleet):
             cells[(shards, n)] = stats
             bench_metrics(
                 f"executor_scale/q{n}_s{shards}_heap",
+                core=stats.core,
+                shards=shards,
+                queries=n,
                 wall_seconds=round(stats.wall_seconds, 4),
                 events=stats.events,
                 events_per_second=round(stats.events_per_second),
@@ -215,6 +238,9 @@ def test_heap_vs_reference_speedup(benchmark, record, bench_metrics, fleet):
     speedup = ref_stats.wall_seconds / heap_stats.wall_seconds
     bench_metrics(
         f"executor_scale/speedup_q{n}_s{shards}",
+        core="heap",
+        shards=shards,
+        queries=n,
         heap_wall_seconds=round(heap_stats.wall_seconds, 4),
         reference_wall_seconds=round(ref_stats.wall_seconds, 4),
         speedup=round(speedup, 1),
@@ -263,6 +289,9 @@ def test_fastpath_fleet_scale(record, bench_metrics, fleet):
         assert general.events == stats.events
         bench_metrics(
             f"executor_scale/q{n}_s4_fastpath",
+            core=stats.core,
+            shards=4,
+            queries=n,
             wall_seconds=round(stats.wall_seconds, 4),
             events=stats.events,
             events_per_second=round(stats.events_per_second),
@@ -320,6 +349,9 @@ def test_parallel_fleet_throughput(record, bench_metrics, fleet):
     cpus = os.cpu_count() or 1
     bench_metrics(
         "executor_scale/parallel_fleets",
+        core=serial[0].core,
+        shards=4,
+        queries=PARALLEL_FLEET_QUERIES,
         fleets=PARALLEL_FLEETS,
         queries_per_fleet=PARALLEL_FLEET_QUERIES,
         workers=PARALLEL_WORKERS,
@@ -346,20 +378,48 @@ def test_parallel_fleet_throughput(record, bench_metrics, fleet):
 
 
 def test_perf_smoke_64_queries(bench_metrics, fleet):
-    """CI perf-smoke cell: 64 queries x 4 shards under a hard wall budget.
+    """CI perf-smoke cells: 64 queries x 4 shards under a hard wall budget.
 
     Runs standalone via ``pytest benchmarks/test_executor_scale.py -k
     smoke`` so the CI job stays minutes-cheap (the lazy ``fleet`` fixture
-    then builds only the 4-shard store).
+    then builds only the 4-shard store).  Each repeat runs the fleet
+    twice back to back — metrics registry detached, then attached — and
+    the best of ``SMOKE_REPEATS`` such pairs lands in two cells:
+
+    * ``executor_scale/smoke_q64_s4`` (attached) — gated against the
+      committed ``BENCH_BASELINE.json`` at the 0.30 tolerance;
+    * ``executor_scale/smoke_q64_s4_detached`` — the same-process A/B
+      partner the CI job diffs the attached cell against at 5%, proving
+      the always-on registry near-zero overhead.
+
+    Best-of-N over *interleaved pairs* is what makes the 5% gate sound:
+    it strips scheduler jitter and CPU-frequency drift that dominate a
+    ~10 ms wall measured across separate processes.  The order within a
+    pair alternates each repeat — under a monotonic frequency ramp
+    (e.g. turbo decay right after a heavier job) whichever side always
+    ran second would otherwise absorb the whole drift as fake overhead.
     """
     store, plans = fleet(4)
-    stats = _run_fleet(store, plans, SMOKE_QUERIES, "heap")
-    bench_metrics(
-        f"executor_scale/smoke_q{SMOKE_QUERIES}_s4",
-        wall_seconds=round(stats.wall_seconds, 4),
-        events=stats.events,
-        events_per_second=round(stats.events_per_second),
-        wall_budget_seconds=SMOKE_WALL_BUDGET,
-    )
-    assert stats.events > 0
-    assert stats.wall_seconds < SMOKE_WALL_BUDGET
+    detached, attached = [], []
+    for rep in range(SMOKE_REPEATS):
+        sides = [(detached, None), (attached, store.metrics)]
+        for runs, registry in sides if rep % 2 == 0 else reversed(sides):
+            runs.append(_run_fleet(store, plans, SMOKE_QUERIES, "heap",
+                                   metrics=registry))
+    for cell, runs, registry in ((SMOKE_CELL_DETACHED, detached, "detached"),
+                                 (SMOKE_CELL, attached, "attached")):
+        stats = min(runs, key=lambda s: s.total_wall_seconds)
+        bench_metrics(
+            cell,
+            core=stats.core,
+            shards=4,
+            queries=SMOKE_QUERIES,
+            wall_seconds=round(stats.wall_seconds, 4),
+            events=stats.events,
+            events_per_second=round(stats.events_per_second),
+            wall_budget_seconds=SMOKE_WALL_BUDGET,
+            repeats=SMOKE_REPEATS,
+            registry=registry,
+        )
+        assert stats.events > 0
+        assert stats.wall_seconds < SMOKE_WALL_BUDGET

@@ -15,7 +15,12 @@ CI can *gate* on throughput instead of merely archiving it:
 * a cell whose recorded throughput is 0 is *excluded* from gating:
   ``ExecutorStats.events_per_second`` reports 0.0 when the run finished
   under the wall-clock resolution (``wall_seconds == 0``), and a ratio
-  against an honest zero is noise, not signal.
+  against an honest zero is noise, not signal;
+* cells are self-describing: ``core`` / ``shards`` / ``queries`` fields
+  (optional — old baselines without them still load and display ``--``)
+  are shown in the table, and a cell whose ``core`` differs between the
+  two runs is excluded from gating rather than compared as a
+  regression — a dispatch change is a finding, not a slowdown.
 
 The committed ``benchmarks/BENCH_BASELINE.json`` pins the last accepted
 run; the CI perf-smoke job diffs the fresh smoke cell against it and
@@ -53,6 +58,15 @@ def load_bench(path: str) -> Dict:
     return data
 
 
+#: Optional self-describing cell fields surfaced in the diff table.
+_META_KEYS = ("core", "shards", "queries")
+
+
+def _cell_meta(fields: Dict) -> Dict[str, object]:
+    """The cell's declared metadata subset (may be empty on old files)."""
+    return {k: fields[k] for k in _META_KEYS if k in fields}
+
+
 @dataclass(frozen=True)
 class CellDelta:
     """One metric cell compared across two benchmark runs."""
@@ -63,6 +77,8 @@ class CellDelta:
     old_wall: Optional[float]
     new_wall: Optional[float]
     excluded: str = ""  # non-empty: why this cell does not gate
+    old_meta: Optional[Dict] = None  # core/shards/queries, when declared
+    new_meta: Optional[Dict] = None
 
     @property
     def ratio(self) -> Optional[float]:
@@ -116,17 +132,29 @@ def diff_bench(old: Dict, new: Dict,
         if cell not in old_metrics:
             deltas.append(CellDelta(cell, None, None, None,
                                     new_metrics[cell].get("wall_seconds"),
-                                    excluded="new cell (no baseline)"))
+                                    excluded="new cell (no baseline)",
+                                    new_meta=_cell_meta(new_metrics[cell])))
             continue
         if cell not in new_metrics:
             deltas.append(CellDelta(cell, None, None,
                                     old_metrics[cell].get("wall_seconds"),
-                                    None, excluded="cell gone from new run"))
+                                    None, excluded="cell gone from new run",
+                                    old_meta=_cell_meta(old_metrics[cell])))
             continue
         old_eps, old_wall, old_why = _cell_numbers(old_metrics[cell])
         new_eps, new_wall, new_why = _cell_numbers(new_metrics[cell])
+        old_meta = _cell_meta(old_metrics[cell])
+        new_meta = _cell_meta(new_metrics[cell])
+        why = old_why or new_why
+        if (not why and old_meta.get("core") and new_meta.get("core")
+                and old_meta["core"] != new_meta["core"]):
+            # Different executor core on the two sides: a dispatch change,
+            # not a like-for-like throughput comparison.
+            why = (f"core changed ({old_meta['core']} -> "
+                   f"{new_meta['core']})")
         deltas.append(CellDelta(cell, old_eps, new_eps, old_wall, new_wall,
-                                excluded=old_why or new_why))
+                                excluded=why, old_meta=old_meta,
+                                new_meta=new_meta))
     return BenchDiff(deltas=tuple(deltas), tolerance=tolerance)
 
 
@@ -138,11 +166,26 @@ def _fmt(value: Optional[float], unit: str = "") -> str:
     return f"{value:,.0f}"
 
 
+def _fmt_meta(meta: Optional[Dict]) -> str:
+    """Compact core/shards/queries tag, ``--`` for undeclared (old) cells."""
+    if not meta:
+        return "--"
+    parts: List[str] = []
+    if "core" in meta:
+        parts.append(str(meta["core"]))
+    if "shards" in meta:
+        parts.append(f"s{meta['shards']}")
+    if "queries" in meta:
+        parts.append(f"q{meta['queries']}")
+    return " ".join(parts)
+
+
 def format_bench_diff(diff: BenchDiff) -> str:
     """Render the diff the way CI logs want it: table, then verdict."""
     lines: List[str] = []
-    header = (f"{'cell':<34} {'old ev/s':>12} {'new ev/s':>12} "
-              f"{'ratio':>7} {'old wall':>10} {'new wall':>10}")
+    header = (f"{'cell':<34} {'config':>18} {'old ev/s':>12} "
+              f"{'new ev/s':>12} {'ratio':>7} {'old wall':>10} "
+              f"{'new wall':>10}")
     lines.append(header)
     lines.append("-" * len(header))
     for d in diff.deltas:
@@ -152,7 +195,8 @@ def format_bench_diff(diff: BenchDiff) -> str:
         else:
             verdict = "   excl"
         lines.append(
-            f"{d.cell:<34} {_fmt(d.old_eps):>12} {_fmt(d.new_eps):>12} "
+            f"{d.cell:<34} {_fmt_meta(d.new_meta or d.old_meta):>18} "
+            f"{_fmt(d.old_eps):>12} {_fmt(d.new_eps):>12} "
             f"{verdict:>7} {_fmt(d.old_wall, 's'):>10} "
             f"{_fmt(d.new_wall, 's'):>10}"
         )

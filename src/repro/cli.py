@@ -13,7 +13,11 @@ Commands cover the common operator workflows:
   live evolution arm);
 * ``focus`` — evaluate the Section-7 Focus comparison model;
 * ``bench-diff`` — compare two BENCH.json runs and gate on throughput
-  regressions.
+  regressions;
+* ``trace`` — run a traced concurrent fleet and print its critical-path
+  summary (``trace``) or export the full observability bundle — Chrome
+  trace JSON plus columnar analytics tables (``trace export``);
+* ``metrics`` — run a fleet and print the always-on metrics registry.
 """
 
 from __future__ import annotations
@@ -206,6 +210,42 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def _run_observed_fleet(store: VStore, args: argparse.Namespace) -> None:
+    """Run the requested homogeneous fleet with tracing forced on."""
+    if args.queries < 1:
+        raise SystemExit("--queries must be at least 1")
+    spec = {"query": args.query, "dataset": args.dataset,
+            "accuracy": args.accuracy, "t0": args.t0, "t1": args.t1}
+    store.execute_many([dict(spec) for _ in range(args.queries)],
+                       core=args.core, trace=True)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    store = _build_store(args)
+    with store:
+        store.configure()
+        _run_observed_fleet(store, args)
+        obs = store.observability()
+        if args.action == "export":
+            written = obs.export(args.outdir, bench_path=args.bench)
+            for name in sorted(written):
+                print(f"{name:>14}: {written[name]}")
+        else:
+            print(obs.summary())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.obs import format_metrics_table
+
+    store = _build_store(args)
+    with store:
+        store.configure()
+        _run_observed_fleet(store, args)
+        print(format_metrics_table(store.metrics.snapshot()))
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     for name, ds in DATASETS.items():
         print(f"{name:>9} [{ds.kind}] {ds.description}")
@@ -307,6 +347,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selectivity", type=float, default=0.10)
     p.add_argument("--alpha", type=float, default=1 / 48)
     p.set_defaults(func=cmd_focus)
+
+    for name, help_text in (
+        ("trace", "run a traced fleet; print its critical-path summary or "
+                  "export the observability bundle (trace export)"),
+        ("metrics", "run a fleet and print the always-on metrics registry"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_store_arguments(p)
+        if name == "trace":
+            p.add_argument("action", nargs="?", choices=("summary", "export"),
+                           default="summary",
+                           help="summary (default) prints critical-path, "
+                                "queue-depth and metrics tables; export "
+                                "writes chrome_trace.json plus the columnar "
+                                "analytics tables into --outdir")
+        p.add_argument("--query", choices=("A", "B"), default="A")
+        p.add_argument("--workdir", required=True,
+                       help="store with previously ingested segments "
+                            "(see the ingest command)")
+        p.add_argument("--dataset", default="jackson",
+                       choices=sorted(DATASETS))
+        p.add_argument("--accuracy", type=float, default=0.9)
+        p.add_argument("--t0", type=float, default=0.0)
+        p.add_argument("--t1", type=float, default=64.0)
+        p.add_argument("--queries", type=int, default=4,
+                       help="fleet width: how many copies of the query run "
+                            "concurrently (default: 4)")
+        p.add_argument("--core", choices=("heap", "reference"),
+                       default="heap")
+        if name == "trace":
+            p.add_argument("--outdir", default="obs_out",
+                           help="directory the export bundle is written "
+                                "into (default: obs_out)")
+            p.add_argument("--bench", default=None,
+                           help="also flatten this BENCH.json into a "
+                                "bench_history analytics table")
+            p.set_defaults(func=cmd_trace)
+        else:
+            p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
         "bench-diff",

@@ -39,6 +39,7 @@ from repro.core.evolve import (
 )
 from repro.errors import ConfigurationError, QueryError, StorageError
 from repro.ingest.budget import IngestBudget
+from repro.obs import MetricsRegistry, Observability, RunRecord, metrics_enabled
 from repro.ingest.pipeline import IngestionPipeline, IngestionReport
 from repro.operators.library import OperatorLibrary, default_library
 from repro.query.cascade import cascade_for
@@ -85,6 +86,16 @@ class VStore:
         #: :meth:`execute_many` and read by :meth:`evolve_online` to decide
         #: whether (and toward which consumer mix) to evolve.
         self.drift = DriftDetector()
+
+        #: The always-on metrics registry every in-process concurrent run
+        #: feeds (executor aggregates, cache plane, sharded disks, drift).
+        #: ``REPRO_OBS_METRICS=0`` detaches it from executors without
+        #: removing it — :meth:`observability` keeps working either way.
+        self.metrics = MetricsRegistry()
+        #: Trace record of the most recent in-process concurrent run
+        #: (:meth:`execute_many` / :meth:`evolve_online` / :meth:`age_online`);
+        #: None until one runs with tracing on.
+        self.last_run: Optional[RunRecord] = None
 
         # The tiered retrieval cache spans the whole store; passing any
         # CacheConfig enables it (None keeps the uncached read path).
@@ -300,6 +311,9 @@ class VStore:
         if self.segments is None:
             raise QueryError("concurrent execution requires a workdir-backed store")
         kwargs.setdefault("cache", self.cache)
+        kwargs.setdefault(
+            "metrics", self.metrics if metrics_enabled() else None
+        )
         return ConcurrentExecutor(
             self.configuration, self.library, self.segments, **kwargs
         )
@@ -336,7 +350,38 @@ class VStore:
         # detector's sliding demand window (observation only — it cannot
         # change scheduling, so outcomes stay bit-identical).
         self.drift.observe_run(outcomes)
+        self._observe_run(executor)
         return outcomes
+
+    def _observe_run(self, executor: "ConcurrentExecutor") -> None:
+        """Retain the run's trace and feed the store-level metric planes.
+
+        Executor aggregates were already folded in by ``run()`` itself
+        (inside its timed window); here the store adds what the executor
+        cannot see — cache plane, sharded disks, drift detector — and
+        keeps the trace for :meth:`observability`.
+        """
+        self.last_run = RunRecord(
+            events=list(executor.trace_events),
+            started_at=executor.started_at,
+            stats=executor.stats(),
+        )
+        if executor.metrics is None:
+            return
+        if self.cache is not None:
+            executor.metrics.observe_cache(self.cache.stats())
+        executor.metrics.observe_disks(self.disk_array)
+        executor.metrics.observe_drift(self.drift)
+
+    def observability(self) -> Observability:
+        """The store's observability facade: last trace + metrics.
+
+        One object answers "what happened and where did time go": typed
+        spans, critical paths, queue depths, Chrome-trace and columnar
+        exports over the most recent concurrent run, plus the always-on
+        metrics registry (see :mod:`repro.obs`).
+        """
+        return Observability(metrics=self.metrics, last_run=self.last_run)
 
     @staticmethod
     def _admit_specs(executor: "ConcurrentExecutor", specs) -> None:
@@ -416,6 +461,8 @@ class VStore:
         outcomes = executor.run() if (jobs or foreground) else []
         stats = executor.stats()
         self.drift.observe_run(outcomes)
+        if jobs or foreground:
+            self._observe_run(executor)
         self.segments.commit_epoch(epoch)
 
         # Retire dropped formats only after the new plan is committed — a
@@ -480,6 +527,8 @@ class VStore:
             executor.admit_job(job)
         outcomes = executor.run() if (jobs or foreground) else []
         self.drift.observe_run(outcomes)
+        if jobs or foreground:
+            self._observe_run(executor)
         return sum(len(j.tasks) for j in jobs), outcomes
 
     # -- caching --------------------------------------------------------------------

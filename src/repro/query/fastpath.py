@@ -61,6 +61,8 @@ import math
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.obs.trace import task_event
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler ↔ here)
     from repro.query.scheduler import ConcurrentExecutor, QueryPlan
 
@@ -257,15 +259,10 @@ def run_fastpath(executor: "ConcurrentExecutor", fleet: _Fleet) -> None:
             duration = chain.duration[i]
             heappush(completions, (now + duration, seq, s, now))
             if tracing:
-                trace_events.append({
-                    "event": "start",
-                    "t": now,
-                    "query": labels[s],
-                    "kind": chain.kind[i],
-                    "operator": chain.operator[i],
-                    "resource": chain.resource[i],
-                    "duration": duration,
-                })
+                trace_events.append(task_event(
+                    "start", now, labels[s], chain.kind[i],
+                    chain.operator[i], chain.resource[i], duration,
+                ))
             seq += 1
 
         if not completions:
@@ -294,15 +291,10 @@ def run_fastpath(executor: "ConcurrentExecutor", fleet: _Fleet) -> None:
                 )
         busy[r] += duration  # units == 1
         if tracing:
-            trace_events.append({
-                "event": "finish",
-                "t": now,
-                "query": labels[s],
-                "kind": chain.kind[i],
-                "operator": chain.operator[i],
-                "resource": chain.resource[i],
-                "duration": duration,
-            })
+            trace_events.append(task_event(
+                "finish", now, labels[s], chain.kind[i],
+                chain.operator[i], chain.resource[i], duration,
+            ))
         free[r] += 1
         i += 1
         if i >= chain.n:

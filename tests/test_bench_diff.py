@@ -92,6 +92,35 @@ class TestDiffBench:
     def test_default_tolerance_matches_ci_gate(self):
         assert DEFAULT_TOLERANCE == 0.30
 
+    def test_core_change_is_excluded_not_gated(self):
+        # A cell that switched executor cores between runs is a dispatch
+        # change — report it, never compare it as a regression.
+        old = _bench({"a": dict(_cell(1000.0), core="heap")})
+        new = _bench({"a": dict(_cell(100.0), core="fastpath")})
+        diff = diff_bench(old, new)
+        assert diff.ok
+        assert "core changed (heap -> fastpath)" in diff.deltas[0].excluded
+
+    def test_same_core_still_gates(self):
+        old = _bench({"a": dict(_cell(1000.0), core="heap", shards=4,
+                                queries=64)})
+        new = _bench({"a": dict(_cell(100.0), core="heap", shards=4,
+                                queries=64)})
+        diff = diff_bench(old, new)
+        assert not diff.ok
+
+    def test_old_baseline_without_metadata_is_compatible(self):
+        # The committed baseline predates the core/shards/queries fields;
+        # a new self-describing run must still gate against it.
+        old = _bench({"a": _cell(100.0)})
+        new = _bench({"a": dict(_cell(50.0), core="heap", shards=4,
+                                queries=64)})
+        diff = diff_bench(old, new, tolerance=0.30)
+        assert not diff.ok  # compared (and regressed), not excluded
+        d = diff.deltas[0]
+        assert d.old_meta == {}
+        assert d.new_meta == {"core": "heap", "shards": 4, "queries": 64}
+
 
 class TestCellDelta:
     def test_ratio_none_when_old_missing(self):
@@ -118,6 +147,15 @@ class TestFormatting:
         new = _bench({"a": _cell(10.0)})
         text = format_bench_diff(diff_bench(old, new))
         assert "REGRESSION: a at 0.10x of baseline" in text
+
+    def test_metadata_column_renders_and_defaults_to_dashes(self):
+        old = _bench({"a": _cell(100.0),
+                      "b": dict(_cell(100.0), core="fastpath", shards=4,
+                                queries=4096)})
+        text = format_bench_diff(diff_bench(old, old))
+        assert "config" in text
+        assert "fastpath s4 q4096" in text
+        assert "--" in text  # cell 'a' declares no metadata
 
 
 class TestLoadBench:

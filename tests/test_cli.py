@@ -60,6 +60,52 @@ def test_ingest_and_execute_roundtrip(tmp_path, capsys):
     assert "executed query" in out
 
 
+def test_trace_summary_and_metrics_commands(tmp_path, capsys):
+    workdir = str(tmp_path / "store")
+    assert main([
+        "ingest", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam", "--segments", "4",
+    ]) == 0
+    assert main([
+        "trace", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam", "--query", "B",
+        "--accuracy", "0.8", "--t1", "32", "--queries", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "bound by" in out  # critical-path table
+    assert "peak wait" in out  # queue-depth table
+    assert "executor.runs" in out  # metrics table
+    assert main([
+        "metrics", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam", "--query", "B",
+        "--accuracy", "0.8", "--t1", "32", "--queries", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "query.latency_seconds" in out
+    assert "p99" in out
+
+
+def test_trace_export_command(tmp_path, capsys):
+    workdir = str(tmp_path / "store")
+    outdir = tmp_path / "bundle"
+    assert main([
+        "ingest", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam", "--segments", "4",
+    ]) == 0
+    assert main([
+        "trace", "export", "--operators", "Motion,License,OCR",
+        "--workdir", workdir, "--dataset", "dashcam", "--query", "B",
+        "--accuracy", "0.8", "--t1", "32", "--queries", "2",
+        "--outdir", str(outdir),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chrome_trace" in out
+    assert (outdir / "chrome_trace.json").exists()
+    # The columnar tables landed in whichever format the host supports.
+    assert any(p.name.startswith("trace_events.")
+               for p in outdir.iterdir())
+
+
 def test_unknown_command_fails():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

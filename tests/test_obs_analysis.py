@@ -1,0 +1,128 @@
+"""Critical-path, queue-depth and utilization analysis on trace streams.
+
+Synthetic streams with hand-computable answers first (the analysis must
+be exact, not plausible), then the store-level facade
+(``VStore.observability()``) that ties a real run to the same code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.obs import (
+    critical_paths,
+    format_critical_path_table,
+    format_metrics_table,
+    format_queue_depth_table,
+    queue_depth_series,
+    utilization_rows,
+)
+from repro.core.store import VStore
+from repro.obs.trace import task_event
+from repro.operators.library import default_library
+
+
+def _chain(query, *tasks):
+    """Serial start/finish events for (kind, operator, resource, t0, t1)."""
+    events = []
+    for kind, operator, resource, t0, t1 in tasks:
+        events.append(task_event("start", t0, query, kind, operator,
+                                 resource, t1 - t0))
+        events.append(task_event("finish", t1, query, kind, operator,
+                                 resource, t1 - t0))
+    return events
+
+
+#: Two overlapping queries on one disk: q0 holds the disk over [0, 2);
+#: q1's retrieval is submitted at 0 but starts at 2 (waited 2 s), then
+#: consumes over [2, 3).  q0 consumes over [2, 6).
+EVENTS = sorted(
+    _chain("q0",
+           ("retrieve", "NN", "disk", 0.0, 2.0),
+           ("consume", "NN", "operators", 2.0, 6.0))
+    + _chain("q1",
+             ("retrieve", "NN", "disk", 2.0, 2.5),
+             ("consume", "NN", "operators", 2.5, 3.0)),
+    key=lambda e: (e["t"], e["event"] == "start"),
+)
+
+
+def test_critical_paths_attribute_the_binding_resource():
+    paths = {p.query: p for p in critical_paths(EVENTS, 0.0)}
+    q0 = paths["q0"]
+    assert q0.bound_resource == "operators"  # 4 s consume dominates
+    assert q0.bound_seconds == pytest.approx(4.0)
+    assert q0.bound_fraction == pytest.approx(4.0 / 6.0)
+    q1 = paths["q1"]
+    # q1: 2 s disk wait + 0.5 s disk service vs 0.5 s operators service.
+    assert q1.bound_resource == "disk"
+    assert q1.bound_seconds == pytest.approx(2.5)
+    assert q1.span.latency == pytest.approx(3.0)
+
+
+def test_queue_depth_series_counts_running_and_waiting():
+    series = queue_depth_series(EVENTS, 0.0)
+    disk = dict((t, (r, w)) for t, r, w in series["disk"])
+    # At t=0 q0 starts on the disk while q1 is already queued behind it.
+    assert disk[0.0] == (1, 1)
+    # q0 releases and q1 is granted at t=2; nobody waits any more.
+    assert disk[2.0] == (1, 0)
+    assert disk[2.5] == (0, 0)
+    ops = dict((t, (r, w)) for t, r, w in series["operators"])
+    assert ops[2.5] == (2, 0)  # both consumes overlap on the pool
+    assert ops[6.0] == (0, 0)
+
+
+def test_utilization_rows_flatten_the_series():
+    rows = utilization_rows(EVENTS, 0.0)
+    assert {r["resource"] for r in rows} == {"disk", "operators"}
+    assert all(set(r) == {"resource", "t", "running", "waiting"}
+               for r in rows)
+    total_points = sum(len(p) for p in queue_depth_series(EVENTS, 0.0)
+                       .values())
+    assert len(rows) == total_points
+
+
+def test_format_tables_render():
+    cp = format_critical_path_table(critical_paths(EVENTS, 0.0))
+    assert "bound by" in cp
+    assert "q1" in cp and "disk" in cp
+    qd = format_queue_depth_table(queue_depth_series(EVENTS, 0.0))
+    assert "peak wait" in qd
+    snap = {"counters": {"executor.runs": 1.0}, "gauges": {},
+            "histograms": {"query.latency_seconds": {
+                "count": 2, "mean": 4.5, "min": 3.0, "max": 6.0,
+                "p50": 3.0, "p95": 6.0, "p99": 6.0}}}
+    mt = format_metrics_table(snap)
+    assert "executor.runs" in mt
+    assert "p95" in mt
+
+
+# ---------------------------------------------------------------------------
+# The store facade
+# ---------------------------------------------------------------------------
+
+
+def test_store_observability_facade(tmp_path):
+    lib = default_library(names=("Motion", "License", "OCR"))
+    with VStore(workdir=str(tmp_path / "store"), library=lib) as store:
+        store.configure()
+        store.ingest("jackson", n_segments=4)
+        obs = store.observability()
+        with pytest.raises(ValueError, match="no traced run"):
+            obs.spans()
+        specs = [{"query": "B", "dataset": "jackson", "accuracy": 0.9,
+                  "t0": 0.0, "t1": 16.0} for _ in range(2)]
+        store.execute_many(specs)
+        obs = store.observability()
+        spans = obs.spans()
+        assert len(spans) == 2
+        paths = obs.critical_paths()
+        assert len(paths) == 2
+        assert obs.queue_depths()
+        summary = obs.summary()
+        assert "bound by" in summary
+        assert "executor.runs" in summary
+        written = obs.export(str(tmp_path / "out"))
+        assert "chrome_trace" in written
+        assert "metrics" in written

@@ -1,0 +1,178 @@
+"""The always-on metrics registry.
+
+Instruments first (log-bucket quantiles must be honest about their
+±one-bucket resolution), then the cross-layer feeders: an ordinary
+``execute_many`` must leave the store's registry describing the run —
+and ``REPRO_OBS_METRICS=0`` must detach it without breaking anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.store import VStore
+from repro.obs.metrics import (
+    BUCKETS_PER_DECADE,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    metrics_enabled,
+)
+from repro.operators.library import default_library
+
+#: One log bucket spans a factor of 10**(1/BUCKETS_PER_DECADE); a
+#: quantile can be off by at most that factor.
+BUCKET_FACTOR = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("n")
+    c.inc(2.0)
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+    assert c.value == 2.0
+
+
+def test_histogram_quantiles_within_bucket_resolution():
+    h = Histogram("lat")
+    values = [0.01 * i for i in range(1, 101)]  # 0.01 .. 1.00
+    for v in values:
+        h.observe(v)
+    assert h.count == 100
+    assert h.min == pytest.approx(0.01)
+    assert h.max == pytest.approx(1.00)
+    # Bucket upper bounds overshoot by at most one bucket factor.
+    for q, exact in ((0.50, 0.50), (0.95, 0.95), (0.99, 0.99)):
+        got = h.quantile(q)
+        assert exact <= got <= exact * BUCKET_FACTOR * 1.0001
+
+
+def test_histogram_underflow_bucket_holds_zeroes():
+    h = Histogram("waits")
+    for _ in range(10):
+        h.observe(0.0)
+    h.observe(5.0)
+    assert h.p50 == 0.0  # the zero majority pins the median at 0
+    assert h.quantile(1.0) == pytest.approx(5.0)
+
+
+def test_histogram_quantile_capped_at_observed_max():
+    h = Histogram("one")
+    h.observe(0.37)
+    # A single sample: every quantile is that sample, not its bucket edge.
+    assert h.p50 == pytest.approx(0.37)
+    assert h.p99 == pytest.approx(0.37)
+
+
+def test_registry_snapshot_is_deterministic_and_sorted():
+    r = MetricsRegistry()
+    r.gauge("z").set(1.0)
+    r.gauge("a").set(2.0)
+    r.counter("m").inc()
+    r.histogram("h").observe(1.0)
+    snap = r.snapshot()
+    assert list(snap["gauges"]) == ["a", "z"]
+    assert snap == r.snapshot()
+    rows = r.rows()
+    # Uniform key-set per row — ready for the columnar tier.
+    assert len({tuple(sorted(row)) for row in rows}) == 1
+
+
+def test_env_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS_METRICS", raising=False)
+    assert metrics_enabled()
+    for off in ("0", "off", "no", "false", "OFF"):
+        monkeypatch.setenv("REPRO_OBS_METRICS", off)
+        assert not metrics_enabled()
+    monkeypatch.setenv("REPRO_OBS_METRICS", "1")
+    assert metrics_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Cross-layer feeders, through the store facade
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def small_store(tmp_path):
+    lib = default_library(names=("Motion", "License", "OCR"))
+    with VStore(workdir=str(tmp_path / "store"), library=lib) as store:
+        store.configure()
+        store.ingest("jackson", n_segments=4)
+        yield store
+
+
+SPECS = [{"query": "B", "dataset": "jackson", "accuracy": 0.9,
+          "t0": 0.0, "t1": 16.0} for _ in range(3)]
+
+
+def test_execute_many_feeds_the_registry(small_store):
+    small_store.execute_many([dict(s) for s in SPECS])
+    snap = small_store.metrics.snapshot()
+    assert snap["counters"]["executor.runs"] == 1
+    assert snap["counters"]["executor.queries"] == 3
+    assert snap["counters"]["executor.events"] > 0
+    assert snap["gauges"]["executor.makespan_seconds"] > 0
+    assert snap["histograms"]["query.latency_seconds"]["count"] == 3
+    # The PR-8 honest-wall bugfix: plan/admit wall is recorded too.
+    assert snap["histograms"]["executor.admit_wall_seconds"]["count"] == 1
+    assert snap["histograms"]["executor.admit_wall_seconds"]["mean"] > 0
+    assert snap["gauges"]["drift.samples"] == 3
+
+
+def test_stats_expose_honest_total_wall(small_store):
+    ex = small_store.executor()
+    small_store._admit_specs(ex, [dict(s) for s in SPECS])
+    ex.run()
+    stats = ex.stats()
+    assert stats.admit_wall_seconds > 0
+    assert stats.total_wall_seconds == pytest.approx(
+        stats.wall_seconds + stats.admit_wall_seconds
+    )
+    # events/s divides by the *total* wall — planning no longer hides.
+    assert stats.events_per_second == pytest.approx(
+        stats.events / stats.total_wall_seconds
+    )
+
+
+def test_env_gate_detaches_executors(small_store, monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_METRICS", "0")
+    small_store.execute_many([dict(s) for s in SPECS])
+    snap = small_store.metrics.snapshot()
+    assert snap["counters"] == {}  # nothing was fed
+    # The trace record is independent of the metrics gate.
+    assert small_store.last_run is not None
+    assert small_store.last_run.events
+
+
+def test_registry_accumulates_across_runs(small_store):
+    small_store.execute_many([dict(s) for s in SPECS])
+    small_store.execute_many([dict(s) for s in SPECS])
+    snap = small_store.metrics.snapshot()
+    assert snap["counters"]["executor.runs"] == 2
+    assert snap["counters"]["executor.queries"] == 6
+    assert snap["histograms"]["query.latency_seconds"]["count"] == 6
+
+
+def test_cache_and_disk_feeders(tmp_path):
+    from repro.cache.plane import CacheConfig
+    from repro.units import MB
+
+    lib = default_library(names=("Motion", "License", "OCR"))
+    cache = CacheConfig(frame_capacity_bytes=64 * MB,
+                        result_capacity_bytes=16 * MB)
+    with VStore(workdir=str(tmp_path / "store"), library=lib,
+                cache_config=cache, shards=2) as store:
+        store.configure()
+        store.ingest("jackson", n_segments=4)
+        store.execute_many([dict(s) for s in SPECS])
+        snap = store.metrics.snapshot()
+    assert snap["gauges"]["disk.shards"] == 2
+    assert "disk.shard1.read_seconds" in snap["gauges"]
+    assert "cache.frames.hits" in snap["gauges"]
+    assert "cache.single_flight_hits" in snap["gauges"]
