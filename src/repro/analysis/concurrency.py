@@ -15,6 +15,7 @@ slowdowns uses Jain's index: 1.0 means every query was slowed equally, and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,14 +23,20 @@ from repro.query.scheduler import ExecutorStats, QueryOutcome
 
 
 def jain_index(values: Sequence[float]) -> float:
-    """Jain's fairness index: 1.0 when all values are equal, 1/n at worst."""
-    if not values:
+    """Jain's fairness index: 1.0 when all values are equal, 1/n at worst.
+
+    Non-finite values are excluded — a zero-service query's slowdown is
+    ``inf`` (pure queueing), which no ratio-of-sums can fold in.  With
+    nothing finite left the index is 1.0 by the all-equal convention.
+    """
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
         return 1.0
-    total = sum(values)
-    squares = sum(v * v for v in values)
+    total = sum(finite)
+    squares = sum(v * v for v in finite)
     if squares <= 0:
         return 1.0
-    return (total * total) / (len(values) * squares)
+    return (total * total) / (len(finite) * squares)
 
 
 @dataclass(frozen=True)
@@ -76,7 +83,13 @@ class ConcurrencyReport:
 
     @property
     def mean_slowdown(self) -> float:
-        return sum(r.slowdown for r in self.rows) / len(self.rows)
+        """Mean over the finite slowdown rows (zero-service outcomes with
+        positive latency report ``inf`` and are excluded; an all-infinite
+        run reports 1.0 by convention — its harm lives in the latencies)."""
+        finite = [r.slowdown for r in self.rows if math.isfinite(r.slowdown)]
+        if not finite:
+            return 1.0
+        return sum(finite) / len(finite)
 
     @property
     def max_slowdown(self) -> float:

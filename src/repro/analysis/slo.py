@@ -1,0 +1,178 @@
+"""SLO analysis of open-loop serving runs.
+
+The closed-loop report (:mod:`repro.analysis.concurrency`) answers "how
+unfair was the drain"; this one answers the operator's serving
+questions: what were the latency quantiles, which tenants missed their
+deadlines and how often, how deep did the admission queue get, and how
+evenly was the pain shared.
+
+Latency here is the *honest* number — finish minus arrival, including
+time spent queued in admission control before the query was let in —
+and quantiles are exact (computed from the per-query latencies, not a
+histogram): a 10k-query fleet sorts in microseconds, and an SLO gate
+should not carry ±one-bucket resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.concurrency import jain_index
+from repro.query.scheduler import QueryOutcome
+
+__all__ = [
+    "TenantSLO",
+    "SLOReport",
+    "slo_report",
+    "format_slo_table",
+    "percentile",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """One tenant's serving outcome (``tenant="*"`` = the whole fleet)."""
+
+    tenant: str
+    n_queries: int
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_queued: float  # admission-queue wait folded into every latency
+    deadline_total: int  # queries that carried a deadline
+    deadline_misses: int
+    mean_slowdown: float  # over finite rows; 1.0 when none are finite
+
+    @property
+    def miss_rate(self) -> float:
+        """Deadline-miss fraction; 0.0 when nothing carried a deadline."""
+        if not self.deadline_total:
+            return 0.0
+        return self.deadline_misses / self.deadline_total
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Operator-facing view of one open-loop serving run."""
+
+    overall: TenantSLO
+    tenants: Tuple[TenantSLO, ...]  # sorted by tenant name
+    #: Jain's index over per-tenant mean slowdowns — 1.0 when contention
+    #: hurt every tenant equally, 1/n when one tenant absorbed it all.
+    fairness: float
+    #: ``(t, queued, in_flight)`` admission samples (empty without
+    #: admission control).
+    queue_timeline: Tuple[Tuple[float, int, int], ...]
+    makespan: float
+
+    @property
+    def peak_queued(self) -> int:
+        return max((q for _, q, _ in self.queue_timeline), default=0)
+
+    @property
+    def peak_in_flight(self) -> int:
+        return max((f for _, _, f in self.queue_timeline), default=0)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.overall.n_queries / self.makespan
+
+
+def _tenant_slo(name: str, outcomes: Sequence[QueryOutcome]) -> TenantSLO:
+    latencies = [o.latency for o in outcomes]
+    queued = [o.queued_seconds for o in outcomes]
+    finite = [o.slowdown for o in outcomes if math.isfinite(o.slowdown)]
+    dated = [o for o in outcomes if o.deadline_met is not None]
+    return TenantSLO(
+        tenant=name,
+        n_queries=len(outcomes),
+        mean_latency=sum(latencies) / len(latencies),
+        p50_latency=percentile(latencies, 0.50),
+        p95_latency=percentile(latencies, 0.95),
+        p99_latency=percentile(latencies, 0.99),
+        mean_queued=sum(queued) / len(queued),
+        deadline_total=len(dated),
+        deadline_misses=sum(1 for o in dated if o.deadline_met is False),
+        mean_slowdown=(sum(finite) / len(finite)) if finite else 1.0,
+    )
+
+
+def slo_report(
+    outcomes: Sequence[QueryOutcome],
+    *,
+    queue_timeline: Sequence[Tuple[float, int, int]] = (),
+    makespan: Optional[float] = None,
+) -> SLOReport:
+    """Build the serving report from a run's outcomes.
+
+    Background jobs (scheduling class 1) are excluded — they have no
+    arrival semantics.  ``queue_timeline`` is the executor's
+    ``admission_timeline``; ``makespan`` defaults to the latest finish
+    minus the earliest arrival across the outcomes.
+    """
+    queries = [o for o in outcomes if o.session.klass == 0]
+    if not queries:
+        raise ValueError("no query outcomes: admit and run queries first")
+    by_tenant: Dict[str, List[QueryOutcome]] = {}
+    for o in queries:
+        by_tenant.setdefault(o.session.tenant or "", []).append(o)
+    tenants = tuple(
+        _tenant_slo(name, group) for name, group in sorted(by_tenant.items())
+    )
+    if makespan is None:
+        makespan = (max(o.session.finished_at for o in queries)
+                    - min(o.session.arrival_at for o in queries))
+    return SLOReport(
+        overall=_tenant_slo("*", queries),
+        tenants=tenants,
+        fairness=jain_index([t.mean_slowdown for t in tenants]),
+        queue_timeline=tuple(tuple(p) for p in queue_timeline),
+        makespan=makespan,
+    )
+
+
+def format_slo_table(report: SLOReport) -> str:
+    """Render the serving run the way the paper renders its tables."""
+    lines: List[str] = []
+    o = report.overall
+    lines.append(
+        f"Open-loop run: {o.n_queries} queries over "
+        f"{report.makespan:.1f}s simulated "
+        f"({report.throughput_qps:.2f} q/s)"
+    )
+    header = (f"{'tenant':<12} {'queries':>8} {'p50':>8} {'p95':>8} "
+              f"{'p99':>8} {'queued':>8} {'miss%':>7} {'slowdn':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for t in report.tenants + (o,):
+        lines.append(
+            f"{t.tenant:<12} {t.n_queries:>8} {t.p50_latency:>8.3f} "
+            f"{t.p95_latency:>8.3f} {t.p99_latency:>8.3f} "
+            f"{t.mean_queued:>8.3f} {t.miss_rate * 100:>6.1f}% "
+            f"{t.mean_slowdown:>6.2f}x"
+        )
+    lines.append(
+        f"fairness (Jain, tenant mean slowdowns) {report.fairness:.3f}; "
+        f"peak queue {report.peak_queued}, "
+        f"peak in-flight {report.peak_in_flight}"
+    )
+    return "\n".join(lines)

@@ -246,6 +246,49 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.slo import format_slo_table
+    from repro.query.scheduler import (
+        AdmissionConfig,
+        DeadlinePolicy,
+        FairSharePolicy,
+        FIFOPolicy,
+        WeightedFairSharePolicy,
+    )
+    from repro.query.workload import ArrivalSpec, QueryMixEntry, TenantSpec
+
+    if args.tenants < 1:
+        raise SystemExit("--tenants must be at least 1")
+    if args.horizon <= 0:
+        raise SystemExit("--horizon must be positive")
+    mix = (QueryMixEntry(query=args.query, dataset=args.dataset,
+                         accuracy=args.accuracy, t0=args.t0, t1=args.t1),)
+    tenants = [
+        TenantSpec(name=f"tenant{i}",
+                   arrivals=ArrivalSpec(kind=args.arrival, rate=args.rate),
+                   mix=mix, slo_seconds=args.slo)
+        for i in range(args.tenants)
+    ]
+    admission = None
+    if args.max_in_flight is not None:
+        admission = AdmissionConfig(max_in_flight=args.max_in_flight,
+                                    queue_policy=args.queue_policy)
+    policies = {"fifo": FIFOPolicy, "fair": FairSharePolicy,
+                "edf": DeadlinePolicy, "wfair": WeightedFairSharePolicy}
+    store = _build_store(args)
+    with store:
+        store.configure()
+        report = store.serve(tenants, horizon=args.horizon, seed=args.seed,
+                             admission=admission,
+                             policy=policies[args.policy](), core=args.core)
+        print(format_slo_table(report.slo))
+        stats = report.stats
+        print(f"executor [{stats.core}]: {stats.events} events in "
+              f"{stats.total_wall_seconds:.3f}s real "
+              f"({stats.events_per_second:,.0f} events/s)")
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     for name, ds in DATASETS.items():
         print(f"{name:>9} [{ds.kind}] {ds.description}")
@@ -339,6 +382,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="host the three per-arm stores here (default: a "
                         "cleaned-up temporary directory)")
     p.set_defaults(func=cmd_evolve)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve an open-loop multi-tenant workload with SLO-aware "
+             "admission; print latency quantiles, miss rates and fairness",
+    )
+    _add_store_arguments(p)
+    p.add_argument("--workdir", required=True,
+                   help="store with previously ingested segments "
+                        "(see the ingest command)")
+    p.add_argument("--query", choices=("A", "B"), default="B")
+    p.add_argument("--dataset", default="jackson", choices=sorted(DATASETS))
+    p.add_argument("--accuracy", type=float, default=0.9)
+    p.add_argument("--t0", type=float, default=0.0)
+    p.add_argument("--t1", type=float, default=16.0)
+    p.add_argument("--tenants", type=int, default=2,
+                   help="identical tenants sharing the store (default: 2)")
+    p.add_argument("--arrival", choices=("poisson", "bursty", "diurnal"),
+                   default="poisson",
+                   help="arrival process per tenant (default: poisson)")
+    p.add_argument("--rate", type=float, default=0.5,
+                   help="mean arrivals per simulated second per tenant")
+    p.add_argument("--horizon", type=float, default=120.0,
+                   help="simulated seconds of arrivals (default: 120)")
+    p.add_argument("--slo", type=float, default=None,
+                   help="per-tenant SLO in simulated seconds; each query's "
+                        "deadline is its arrival + SLO")
+    p.add_argument("--max-in-flight", type=int, default=None,
+                   help="admission control: bound on concurrently running "
+                        "queries (default: unbounded, no admission queue)")
+    p.add_argument("--queue-policy", choices=("arrival", "edf", "wfair"),
+                   default="arrival",
+                   help="admission-queue order (requires --max-in-flight)")
+    p.add_argument("--policy", choices=("fifo", "fair", "edf", "wfair"),
+                   default="fifo",
+                   help="resource scheduling policy inside the executor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--core", choices=("heap", "reference"), default="heap")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("datasets", help="list the benchmark streams")
     p.set_defaults(func=cmd_datasets)

@@ -25,6 +25,12 @@ class SimClock:
     now: float = 0.0
     by_category: Dict[str, float] = field(default_factory=dict)
 
+    #: Relative tolerance for backwards ``advance_to`` targets.  Event
+    #: times are sums of float durations, so two paths to the same
+    #: instant may disagree by a few ulps; anything beyond this is an
+    #: event-ordering bug, not rounding.
+    BACKWARDS_TOLERANCE = 1e-9
+
     def charge(self, seconds: float, category: str = "other") -> float:
         """Advance the clock by ``seconds`` (must be non-negative)."""
         if seconds < 0:
@@ -36,14 +42,21 @@ class SimClock:
     def advance_to(self, t: float, category: str = "other") -> float:
         """Advance the clock to absolute simulated time ``t``.
 
-        Charges the difference to ``category``; a ``t`` at or before the
-        current time is a no-op (concurrent completions may land on the
-        same instant).  Used by the concurrent executor, whose events carry
-        absolute completion times rather than durations.
+        Charges the difference to ``category``.  A ``t`` at (or a float
+        epsilon before) the current time is a no-op — concurrent
+        completions may land on the same instant, and absolute event
+        times are sums of float durations that can disagree by ulps.  A
+        backwards jump beyond that tolerance raises ``ValueError``:
+        silently ignoring it would mask event-ordering bugs upstream.
         """
         delta = t - self.now
         if delta > 0:
             self.charge(delta, category)
+        elif delta < -self.BACKWARDS_TOLERANCE * max(1.0, abs(self.now)):
+            raise ValueError(
+                f"clock cannot run backwards: advance_to({t}) from "
+                f"{self.now}"
+            )
         return self.now
 
     def spent(self, category: str) -> float:

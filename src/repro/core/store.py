@@ -17,6 +17,7 @@ the subpackages, but the facade covers the common paths.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -52,6 +53,15 @@ from repro.storage.sharding import (
     RebalanceReport,
     ShardedDiskArray,
 )
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one :meth:`VStore.serve` run produced."""
+
+    outcomes: List["QueryOutcome"]
+    slo: "object"  # repro.analysis.slo.SLOReport (import-cycle-free)
+    stats: "object"  # repro.query.scheduler.ExecutorStats
 
 
 class VStore:
@@ -317,6 +327,55 @@ class VStore:
         return ConcurrentExecutor(
             self.configuration, self.library, self.segments, **kwargs
         )
+
+    def serve(self, tenants, horizon: float, *, seed: object = 0,
+              admission=None, **kwargs):
+        """Serve an open-loop multi-tenant workload against this store.
+
+        Builds each tenant's deterministic arrival stream and query mix
+        (:func:`~repro.query.workload.build_workload`), admits the whole
+        timeline up front — every query carrying its ``arrival``,
+        ``tenant`` and SLO ``deadline`` — and runs one executor that
+        processes arrivals as simulated-time events.  ``admission``
+        (an :class:`~repro.query.scheduler.AdmissionConfig`) bounds the
+        in-flight set; its per-tenant quotas and weights default to the
+        :class:`~repro.query.workload.TenantSpec` fields when left
+        unset.  Remaining keyword arguments configure the executor
+        (``policy``, ``core``, pools — see :meth:`executor`).
+
+        Returns a :class:`ServeReport`: the per-query outcomes, the
+        :class:`~repro.analysis.slo.SLOReport` (latency quantiles,
+        deadline-miss rates, tenant fairness, queue-depth timeline) and
+        the run's :class:`~repro.query.scheduler.ExecutorStats`.
+        """
+        from dataclasses import replace
+
+        from repro.analysis.slo import slo_report
+        from repro.query.workload import build_workload, workload_specs
+
+        self._check_open()
+        if admission is not None:
+            quotas = {t.name: t.quota for t in tenants
+                      if t.quota is not None}
+            weights = {t.name: t.weight for t in tenants
+                       if t.weight != 1.0}
+            if admission.tenant_quotas is None and quotas:
+                admission = replace(admission, tenant_quotas=quotas)
+            if admission.tenant_weights is None and weights:
+                admission = replace(admission, tenant_weights=weights)
+        arrivals = build_workload(tenants, horizon, seed)
+        executor = self.executor(admission=admission, **kwargs)
+        self._admit_specs(executor, workload_specs(arrivals))
+        outcomes = executor.run()
+        self.drift.observe_run(outcomes)
+        self._observe_run(executor)
+        stats = executor.stats()
+        report = slo_report(
+            outcomes,
+            queue_timeline=executor.admission_timeline,
+            makespan=stats.makespan,
+        )
+        return ServeReport(outcomes=outcomes, slo=report, stats=stats)
 
     def execute_many(self, specs, parallel: Optional[int] = None, **kwargs):
         """Admit and run many queries at once against shared resources.

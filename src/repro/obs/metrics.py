@@ -109,27 +109,63 @@ class Histogram:
         if value <= 0.0:
             idx = self._UNDERFLOW
         else:
-            idx = math.ceil(math.log(value) / self._LOG_BASE)
+            idx = self._bucket_index(value)
         self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def _bucket_index(self, value: float) -> int:
+        """Stable log-bucket index of a positive observation.
+
+        The raw ``ceil(log(value) / LOG_BASE)`` can flip a value sitting
+        exactly on a bucket boundary into the adjacent bucket: ``log``
+        carries float error, so the quotient of a boundary value lands an
+        ulp above or below the integer it should hit.  The index is
+        therefore nudged until it satisfies the canonical bound function
+        ``_bucket_upper`` — the unique ``i`` with
+        ``upper(i - 1) < value <= upper(i)`` — which keeps the bucket
+        assignment (and the bit-equal columnar export built on it)
+        consistent with the reported bounds on every platform.
+        """
+        idx = math.ceil(math.log(value) / self._LOG_BASE)
+        while value > self._bucket_upper(idx):
+            idx += 1
+        while value <= self._bucket_upper(idx - 1):
+            idx -= 1
+        return idx
+
+    def _bucket_upper(self, idx: int) -> float:
+        """Canonical upper bound of bucket ``idx`` (its reported value)."""
+        return math.exp(idx * self._LOG_BASE)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the q-quantile observation."""
+        """Upper bound of the bucket holding the q-quantile observation,
+        clamped to the observed ``[min, max]`` range.
+
+        ``q = 0`` returns the minimum observation itself: rank 0 is
+        matched by the first occupied bucket, whose *upper* bound may sit
+        a full bucket factor above the smallest sample.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1]: {q}")
         if not self.count:
             return 0.0
+        if q == 0.0:
+            return self.min
         rank = q * self.count
         seen = 0
         for idx in sorted(self.buckets):
             seen += self.buckets[idx]
             if seen >= rank:
                 if idx == self._UNDERFLOW:
-                    return 0.0
-                return min(math.exp(idx * self._LOG_BASE), self.max)
+                    # The underflow bucket holds the <= 0 observations;
+                    # its reported bound is 0, clamped like any other.
+                    upper = 0.0
+                else:
+                    upper = self._bucket_upper(idx)
+                return max(self.min, min(upper, self.max))
         return self.max  # pragma: no cover - q=1 handled by >= above
 
     @property
@@ -206,11 +242,20 @@ class MetricsRegistry:
                 self.counter("executor.background_jobs").inc()
                 continue
             self.counter("executor.queries").inc()
-            lat = session.finished_at - session.admitted_at
+            lat = session.finished_at - session.arrival_at
             latency.observe(lat)
             wait.observe(session.waited_seconds)
             service = session.plan.service_seconds
-            slowdown.observe(lat / service if service > 0 else 1.0)
+            if service > 0:
+                slowdown.observe(lat / service)
+            elif lat > 0:
+                # A zero-service outcome that still waited: its slowdown
+                # is infinite (pure queueing), which a log-bucket
+                # histogram cannot hold — count it honestly instead of
+                # recording a fictitious 1.0.
+                self.counter("executor.pure_wait_queries").inc()
+            else:
+                slowdown.observe(1.0)
 
     def observe_wall(self, stats) -> None:
         """Record the run's host-side wall accounting (post-run).

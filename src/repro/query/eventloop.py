@@ -81,6 +81,12 @@ class CompletionHeap:
         """The running task with the smallest ``(end, seq)``."""
         return heapq.heappop(self._heap)[2]
 
+    def next_end(self) -> float:
+        """Completion instant of the head entry (heap must be non-empty);
+        the open-loop executor compares it against the next arrival to
+        interleave the two event streams in simulated-time order."""
+        return self._heap[0][0]
+
     def pop_batch(self) -> List[object]:
         """All running tasks sharing the smallest ``end``, in seq order.
 

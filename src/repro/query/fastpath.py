@@ -147,6 +147,8 @@ def lower_fleet(executor: "ConcurrentExecutor") -> Optional[_Fleet]:
 
     if executor.cache is not None:
         return None  # single-flight rewrite / wakeups need the general core
+    if executor._admission is not None:
+        return None  # open-loop admission control needs the general cores
     policy_type = type(executor.policy)
     if policy_type is not FIFOPolicy and policy_type is not DeadlinePolicy:
         return None  # dynamic (or custom) priorities need lazy invalidation
@@ -164,6 +166,8 @@ def lower_fleet(executor: "ConcurrentExecutor") -> Optional[_Fleet]:
             return None  # background jobs band the priority key
         if session.contexts != 1:
             return None  # gangs may park on the operator pool
+        if session.arrival_at > executor.clock.now or session.tenant is not None:
+            return None  # open-loop arrivals / tenancy need the general cores
         plan = session.plan
         key = id(plan)
         chain = lowered.get(key)
@@ -199,7 +203,7 @@ def run_fastpath(executor: "ConcurrentExecutor", fleet: _Fleet) -> None:
     chains = fleet.chains
     k0 = fleet.k0
     clock = executor.clock
-    now = clock.now
+    now = run_start = clock.now
     by_category = clock.by_category
     tracing = executor._tracing
     trace_events = executor.trace_events
@@ -312,6 +316,7 @@ def run_fastpath(executor: "ConcurrentExecutor", fleet: _Fleet) -> None:
         session = sessions[s]
         chain = chains[s]
         session.finished_at = finished[s]
+        session.entered_at = run_start
         session.waited_seconds = waited[s]
         session.service_by_resource = dict(chain.service)
         session.prio_version += chain.n  # one bump per completion

@@ -31,6 +31,7 @@ parity oracle behind the golden-trace and Hypothesis tests.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -332,6 +333,229 @@ class DeadlinePolicy(SchedulingPolicy):
         return (deadline if deadline is not None else math.inf, seq)
 
 
+class WeightedFairSharePolicy(SchedulingPolicy):
+    """Weighted least attained service *across tenants*.
+
+    Where :class:`FairSharePolicy` equalizes per-query service on each
+    resource, this policy equalizes the *tenant-level* virtual time
+    ``attained_service / weight``: the next grant goes to the tenant
+    that has consumed the least weighted service so far, regardless of
+    how many queries it has in flight.  Weights express SLO classes — a
+    weight-2 tenant is entitled to twice the service rate of a weight-1
+    tenant under contention.
+
+    Sound under the heap core's lazy invalidation: a tenant's attained
+    service only grows while a task waits, so priorities are
+    non-decreasing; the ready-heap version stamp additionally folds in
+    the tenant's service stamp, so stale keys are re-keyed before they
+    can win a grant.
+    """
+
+    name = "wfair"
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None):
+        self.weights: Dict[str, float] = dict(weights or {})
+        for tenant, weight in self.weights.items():
+            if weight <= 0:
+                raise QueryError(
+                    f"tenant {tenant!r}: weight must be positive: {weight}"
+                )
+
+    def priority(self, session: "QuerySession", task: "ResourceTask",
+                 seq: int) -> Tuple:
+        state = session.tenant_state
+        attained = (state.service if state is not None
+                    else session.service_seconds)
+        weight = self.weights.get(session.tenant or "", 1.0)
+        return (attained / weight, seq)
+
+
+# ---------------------------------------------------------------------------
+# Tenancy and admission control (the open-loop serving plane)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TenantState:
+    """Shared per-tenant accounting, attached to every session of a tenant.
+
+    One instance per tenant name per executor; sessions reference it so
+    tenant-level policies (:class:`WeightedFairSharePolicy`) and the
+    admission controller read and update one place.  Untenanted sessions
+    share the anonymous tenant ``""``.
+    """
+
+    name: str
+    #: Attained service across all resources (simulated seconds), updated
+    #: by ``_complete`` on every task finish.
+    service: float = 0.0
+    #: Version stamp bumped with every service change — folded into the
+    #: ready-heap entry version so tenant-level priorities are re-keyed
+    #: lazily, exactly like per-session ``prio_version``.
+    stamp: int = 0
+    #: Queries of this tenant currently inside the executor (admitted
+    #: past admission control, not yet finished).
+    in_flight: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission control for open-loop serving.
+
+    Bounds how much of an arrival stream may be in flight at once; the
+    rest waits in an admission queue ordered by ``queue_policy``:
+
+    * ``"arrival"`` — FIFO by arrival instant;
+    * ``"edf"`` — earliest deadline first (deadline-less queries last),
+      the SLO-aware order: with per-tenant SLOs, a query's deadline is
+      ``arrival + slo``, so EDF admits the most urgent work first;
+    * ``"wfair"`` — weighted fair share across tenants: the queue head
+      of the tenant with the least weighted attained service enters
+      first (FIFO within each tenant).
+
+    ``tenant_quotas`` caps each tenant's in-flight queries independently
+    of the global bound; quota-blocked tenants never head-of-line-block
+    other tenants (the queue is per-tenant underneath).  Background jobs
+    (scheduling class 1) bypass admission entirely.
+    """
+
+    max_in_flight: Optional[int] = None
+    queue_policy: str = "arrival"
+    tenant_quotas: Optional[Dict[str, int]] = None
+    tenant_weights: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise QueryError(
+                f"max_in_flight must be >= 1: {self.max_in_flight}"
+            )
+        if self.queue_policy not in ("arrival", "edf", "wfair"):
+            raise QueryError(
+                f"unknown admission queue policy {self.queue_policy!r}; "
+                f"known: arrival, edf, wfair"
+            )
+        for tenant, quota in (self.tenant_quotas or {}).items():
+            if quota < 1:
+                raise QueryError(
+                    f"tenant {tenant!r}: quota must be >= 1: {quota}"
+                )
+        for tenant, weight in (self.tenant_weights or {}).items():
+            if weight <= 0:
+                raise QueryError(
+                    f"tenant {tenant!r}: weight must be positive: {weight}"
+                )
+
+
+class _AdmissionController:
+    """Bounded in-flight admission with per-tenant queues.
+
+    Every structure is per-tenant: a binary heap of waiting sessions per
+    tenant keyed by the queue policy's order, so a pick is O(T log n)
+    for T tenants — the controller stays cheap at 10k queued queries.
+    ``arrive`` and ``finish`` return the sessions that may now enter the
+    executor; the caller submits their first tasks.
+    """
+
+    def __init__(self, config: AdmissionConfig,
+                 tenants: Dict[str, TenantState]):
+        self.config = config
+        self._tenants = tenants
+        self.in_flight = 0
+        self.queued = 0
+        #: ``(t, queued, in_flight)`` samples at every change point, one
+        #: per distinct instant — the queue-depth timeline the SLO report
+        #: plots.
+        self.timeline: List[Tuple[float, int, int]] = []
+        self._queues: Dict[str, List[tuple]] = {}
+
+    def _key(self, session: "QuerySession") -> tuple:
+        if self.config.queue_policy == "edf":
+            deadline = session.deadline
+            return (deadline if deadline is not None else math.inf,
+                    session.arrival_at, session.qid)
+        return (session.arrival_at, session.qid)
+
+    def _tenant_fits(self, name: str) -> bool:
+        quotas = self.config.tenant_quotas
+        if not quotas:
+            return True
+        quota = quotas.get(name)
+        if quota is None:
+            return True
+        state = self._tenants.get(name)
+        return state is None or state.in_flight < quota
+
+    def _pick(self) -> Optional["QuerySession"]:
+        cfg = self.config
+        if cfg.max_in_flight is not None and self.in_flight >= cfg.max_in_flight:
+            return None
+        wfair = cfg.queue_policy == "wfair"
+        weights = cfg.tenant_weights or {}
+        best_name = None
+        best_key: Optional[tuple] = None
+        for name in sorted(self._queues):
+            queue = self._queues[name]
+            if not queue or not self._tenant_fits(name):
+                continue
+            head_key = queue[0][0]
+            if wfair:
+                state = self._tenants.get(name)
+                attained = state.service if state is not None else 0.0
+                key = (attained / weights.get(name, 1.0),) + head_key
+            else:
+                key = head_key
+            if best_key is None or key < best_key:
+                best_key = key
+                best_name = name
+        if best_name is None:
+            return None
+        _, session = heapq.heappop(self._queues[best_name])
+        self.queued -= 1
+        self.in_flight += 1
+        state = session.tenant_state
+        if state is not None:
+            state.in_flight += 1
+        return session
+
+    def _drain(self) -> List["QuerySession"]:
+        admitted: List["QuerySession"] = []
+        while True:
+            session = self._pick()
+            if session is None:
+                return admitted
+            admitted.append(session)
+
+    def _sample(self, now: float) -> None:
+        point = (now, self.queued, self.in_flight)
+        if self.timeline and self.timeline[-1][0] == now:
+            self.timeline[-1] = point
+        else:
+            self.timeline.append(point)
+
+    def arrive(self, session: "QuerySession",
+               now: float) -> List["QuerySession"]:
+        """Queue one arrival; return every session admitted by it."""
+        name = session.tenant or ""
+        heapq.heappush(self._queues.setdefault(name, []),
+                       (self._key(session), session))
+        self.queued += 1
+        admitted = self._drain()
+        self._sample(now)
+        return admitted
+
+    def finish(self, session: "QuerySession",
+               now: float) -> List["QuerySession"]:
+        """Release one finished session; return the sessions its slot
+        (and its tenant's quota slot) let in."""
+        self.in_flight -= 1
+        state = session.tenant_state
+        if state is not None:
+            state.in_flight -= 1
+        admitted = self._drain()
+        self._sample(now)
+        return admitted
+
+
 # ---------------------------------------------------------------------------
 # Sessions, outcomes, executor
 # ---------------------------------------------------------------------------
@@ -353,6 +577,22 @@ class QuerySession:
     plan: QueryPlan
     admitted_at: float
     finished_at: Optional[float] = None
+    #: Simulated instant the query *arrived* at the store.  Open-loop
+    #: workloads admit ahead of time with future arrivals; closed-loop
+    #: fleets default it to the admit instant (see ``__post_init__``).
+    #: Latency is honest: ``finished_at - arrival_at``, including any
+    #: time spent queued before admission.
+    arrival_at: Optional[float] = None
+    #: Tenant this query belongs to (``None`` = untenanted).
+    tenant: Optional[str] = None
+    #: Shared accounting of this session's tenant (one object per tenant
+    #: per executor); ``None`` for directly constructed sessions.
+    tenant_state: Optional[TenantState] = None
+    #: Simulated instant the session passed admission control and its
+    #: first task was submitted (= arrival when nothing throttled it).
+    entered_at: Optional[float] = None
+    #: Time spent in the admission queue before entering the executor.
+    queued_seconds: float = 0.0
     waited_seconds: float = 0.0  # time spent queued for busy resources
     service_by_resource: Dict[str, float] = field(default_factory=dict)
     _cursor: int = 0  # index of the next task in the plan
@@ -367,6 +607,10 @@ class QuerySession:
     #: leaves their schedules (and the golden traces) bit-identical.
     klass: int = 0
 
+    def __post_init__(self) -> None:
+        if self.arrival_at is None:
+            self.arrival_at = self.admitted_at
+
     @property
     def label(self) -> str:
         return f"q{self.qid}:{self.query.name}@{self.stream}"
@@ -379,7 +623,7 @@ class QuerySession:
     def latency(self) -> Optional[float]:
         if self.finished_at is None:
             return None
-        return self.finished_at - self.admitted_at
+        return self.finished_at - self.arrival_at
 
 
 @dataclass(frozen=True)
@@ -410,7 +654,13 @@ class QueryOutcome:
 
     @property
     def latency(self) -> float:
-        return self.session.finished_at - self.session.admitted_at
+        """Honest end-to-end latency: finish minus *arrival*.
+
+        Includes the time an open-loop query spent queued in admission
+        control before it was allowed in; for closed-loop fleets arrival
+        and admit coincide, so this is the pre-existing number.
+        """
+        return self.session.finished_at - self.session.arrival_at
 
     @property
     def service_seconds(self) -> float:
@@ -422,10 +672,26 @@ class QueryOutcome:
         return self.session.waited_seconds
 
     @property
+    def queued_seconds(self) -> float:
+        """Time spent in the admission queue before entering."""
+        return self.session.queued_seconds
+
+    @property
     def slowdown(self) -> float:
-        """Contention-induced slowdown over running the query alone."""
+        """Contention-induced slowdown over running the query alone.
+
+        A zero-service outcome (an empty plan — e.g. every stage was a
+        committed result hit) with positive latency spent *all* of that
+        latency queueing; under open-loop admission that is real harm, so
+        it reports as ``inf`` rather than pretending "no slowdown".
+        Aggregates stay well-defined: :func:`~repro.analysis.concurrency.
+        jain_index` and ``ConcurrencyReport.mean_slowdown`` fold only the
+        finite rows.
+        """
         service = self.service_seconds
-        return self.latency / service if service > 0 else 1.0
+        if service > 0:
+            return self.latency / service
+        return math.inf if self.latency > 0 else 1.0
 
     @property
     def deadline_met(self) -> Optional[bool]:
@@ -586,6 +852,7 @@ class ConcurrentExecutor:
         trace: Optional[bool] = None,
         fastpath: bool = True,
         metrics=None,
+        admission: Optional[AdmissionConfig] = None,
     ):
         if core not in ("heap", "reference"):
             raise QueryError(
@@ -646,6 +913,15 @@ class ConcurrentExecutor:
         self.metrics = metrics
         self._engines: Dict[str, "QueryEngine"] = dict(engines or {})
         self._sessions: List[QuerySession] = []
+        #: Per-tenant shared state, created lazily at admission; the
+        #: anonymous tenant ``""`` holds every untenanted session.
+        self._tenants: Dict[str, TenantState] = {}
+        #: Admission control (open-loop serving); ``None`` = admit-all,
+        #: which is the closed-loop flow golden traces pin.
+        self._admission: Optional[_AdmissionController] = (
+            _AdmissionController(admission, self._tenants)
+            if admission is not None else None
+        )
         self._started_at: float = self.clock.now
         self._ran = False
         self._wall_seconds = 0.0
@@ -677,12 +953,21 @@ class ConcurrentExecutor:
         contexts: int = 1,
         deadline: Optional[float] = None,
         plan: Optional[QueryPlan] = None,
+        arrival: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> QuerySession:
         """Admit one query; its task chain is planned immediately.
 
         The host time this takes (planning included) accumulates into
         ``ExecutorStats.admit_wall_seconds`` — ``run()``'s wall alone
         used to silently exclude it from events/s.
+
+        ``arrival`` places the query on the simulated timeline for
+        open-loop serving: the run leaves it untouched until the clock
+        reaches that instant, then routes it through admission control
+        (when configured).  Omitted, the query arrives "now" — the
+        closed-loop flow.  ``tenant`` names the owning tenant for
+        quotas, weighted fair sharing and per-tenant SLO reporting.
 
         Plans are timing-independent, so a fleet of identical queries may
         pass a precomputed ``plan`` (from :meth:`QueryEngine.plan`) to
@@ -699,6 +984,11 @@ class ConcurrentExecutor:
             raise QueryError("executor already ran; create a new one")
         if contexts <= 0:
             raise QueryError(f"need at least one context: {contexts}")
+        if arrival is not None and arrival < self.clock.now:
+            raise QueryError(
+                f"arrival {arrival} is in the simulated past "
+                f"(clock at {self.clock.now})"
+            )
         wall0 = perf_counter()
         if plan is not None:
             contexts = plan.contexts
@@ -747,10 +1037,20 @@ class ConcurrentExecutor:
             deadline=deadline,
             plan=plan,
             admitted_at=self.clock.now,
+            arrival_at=arrival,
+            tenant=tenant,
+            tenant_state=self._tenant_state_for(tenant),
         )
         self._sessions.append(session)
         self._admit_wall_seconds += perf_counter() - wall0
         return session
+
+    def _tenant_state_for(self, tenant: Optional[str]) -> TenantState:
+        name = tenant or ""
+        state = self._tenants.get(name)
+        if state is None:
+            state = self._tenants[name] = TenantState(name=name)
+        return state
 
     def admit_job(self, job: BackgroundJob,
                   deadline: Optional[float] = None) -> QuerySession:
@@ -806,6 +1106,14 @@ class ConcurrentExecutor:
     @property
     def sessions(self) -> List[QuerySession]:
         return list(self._sessions)
+
+    @property
+    def admission_timeline(self) -> List[Tuple[float, int, int]]:
+        """``(t, queued, in_flight)`` samples from admission control,
+        one per change instant; empty without an :class:`AdmissionConfig`."""
+        if self._admission is None:
+            return []
+        return list(self._admission.timeline)
 
     @property
     def started_at(self) -> float:
@@ -1058,6 +1366,10 @@ class ConcurrentExecutor:
             service.get(done.task.resource, 0.0) + done.task.duration
         )
         session.prio_version += 1  # attained service moved: stamp it
+        tenant = session.tenant_state
+        if tenant is not None:
+            tenant.service += done.task.duration
+            tenant.stamp += 1
         self._trace("finish", session, done.task, self.clock.now)
         self._task_completed(done.task)
 
@@ -1113,7 +1425,20 @@ class ConcurrentExecutor:
                 (w.session.klass,)
                 + tuple(policy.priority(w.session, w.task, w.seq))
             ),
-            version=lambda w: w.session.prio_version,
+            # Tenant-level service (WeightedFairSharePolicy's key) moves
+            # without the session's own stamp moving, so under that
+            # policy the entry version folds in the tenant stamp.  Every
+            # other policy keys off per-session state only; the plain
+            # int version keeps the per-validation cost off the hot path.
+            version=(
+                (lambda w: (
+                    w.session.prio_version,
+                    w.session.tenant_state.stamp
+                    if w.session.tenant_state is not None else 0,
+                ))
+                if isinstance(policy, WeightedFairSharePolicy)
+                else (lambda w: w.session.prio_version)
+            ),
             free_units=lambda resource: pools[resource].free,
         )
         for name in pools:
@@ -1158,43 +1483,112 @@ class ConcurrentExecutor:
                 self._trace("start", w.session, w.task, now)
                 seq += 1
 
+        admission = self._admission
+        start = self.clock.now
+        arrivals = sorted(
+            (s for s in self._sessions if s.arrival_at > start),
+            key=lambda s: (s.arrival_at, s.qid),
+        )
+        ai = 0
+
+        def enter_all(entering: List[QuerySession], dirty=None) -> None:
+            """Admit sessions into the executor proper: stamp their entry,
+            submit their first tasks.  A session whose (empty) chain
+            finishes instantly releases its admission slot immediately,
+            which may let further queued sessions in — hence the work
+            list instead of recursion."""
+            work = list(entering)
+            while work:
+                s = work.pop(0)
+                s.entered_at = self.clock.now
+                s.queued_seconds = self.clock.now - s.arrival_at
+                resource = submit_next(s)
+                if resource is not None:
+                    if dirty is not None:
+                        dirty.add(resource)
+                elif (s.finished_at is not None and admission is not None
+                        and s.klass == 0):
+                    work.extend(admission.finish(s, self.clock.now))
+
+        def arrive(s: QuerySession, dirty=None) -> None:
+            if admission is None or s.klass != 0:
+                # Closed-loop flow, or a background job: admission
+                # control never gates scheduling class 1.
+                enter_all([s], dirty)
+            else:
+                enter_all(admission.arrive(s, self.clock.now), dirty)
+
         for session in self._sessions:
-            submit_next(session)
+            if session.arrival_at <= start:
+                arrive(session)
         grant()
 
         cache = self.cache
-        while completions:
-            for done in completions.pop_batch():
-                self._complete(done)
-                resource = done.task.resource
-                dirty = {resource}
-                released = deps.complete(done.task.uid)
-                if released:
-                    # Single-flight followers (and deduplicated consumes)
-                    # wake up here, through the event queue — never via a
-                    # rescan.
-                    if cache is not None:
-                        cache.note_wakeups(len(released))
-                    for w in released:
-                        ready.push(w.task.resource, w)
-                        dirty.add(w.task.resource)
-                ready.release(resource)
-                next_resource = submit_next(done.session)
-                if next_resource is not None:
-                    dirty.add(next_resource)
+        while len(completions) or ai < len(arrivals):
+            # Interleave completions with arrivals in simulated-time
+            # order; completions win ties, so work finishing at an
+            # arrival's instant frees capacity before admission runs —
+            # the reference core breaks the same tie the same way.
+            if len(completions) and (
+                    ai >= len(arrivals)
+                    or completions.next_end() <= arrivals[ai].arrival_at):
+                for done in completions.pop_batch():
+                    self._complete(done)
+                    resource = done.task.resource
+                    dirty = {resource}
+                    released = deps.complete(done.task.uid)
+                    if released:
+                        # Single-flight followers (and deduplicated
+                        # consumes) wake up here, through the event queue
+                        # — never via a rescan.
+                        if cache is not None:
+                            cache.note_wakeups(len(released))
+                        for w in released:
+                            ready.push(w.task.resource, w)
+                            dirty.add(w.task.resource)
+                    ready.release(resource)
+                    next_resource = submit_next(done.session)
+                    if next_resource is not None:
+                        dirty.add(next_resource)
+                    elif (done.session.finished_at is not None
+                            and admission is not None
+                            and done.session.klass == 0):
+                        enter_all(
+                            admission.finish(done.session, self.clock.now),
+                            dirty,
+                        )
+                    grant(dirty)
+            else:
+                t = arrivals[ai].arrival_at
+                self.clock.advance_to(t, "idle")
+                dirty: set = set()
+                while ai < len(arrivals) and arrivals[ai].arrival_at == t:
+                    arrive(arrivals[ai], dirty)
+                    ai += 1
                 grant(dirty)
 
         blocked = list(ready.pending()) + deps.parked()
         if blocked:  # pragma: no cover - guarded by the acyclic dedup graph
             raise self._deadlock_error(blocked)
+        if admission is not None and admission.queued:  # pragma: no cover
+            raise QueryError(
+                f"admission queue stuck with {admission.queued} session(s) "
+                f"and nothing running"
+            )
 
     def _run_reference(self, chains: Dict[int, List[_RunTask]]) -> None:
-        """The original O(n)-per-event rescan loop, kept verbatim.
+        """The original O(n)-per-event rescan loop — the parity oracle.
 
-        This is the parity oracle: the golden traces were produced by this
-        loop, and the Hypothesis property replays random fleets through
-        both cores.  Do not optimize it — its value is that it stays
-        byte-for-byte what PR 2 shipped.
+        The golden traces were produced by this loop, and the Hypothesis
+        property replays random fleets through both cores.  Do not
+        optimize it: for closed-loop fleets (every arrival at or before
+        the run start, no admission control) the flow below reduces
+        exactly to what PR 2 shipped — ``arrivals`` is empty, ``arrive``
+        is a plain ``submit_next``, and the completion loop is the
+        original ``while running`` — which the golden traces still pin
+        byte-for-byte.  Open-loop fleets interleave future arrivals with
+        completions in simulated-time order, completions winning ties,
+        mirroring the heap core's batching rule.
         """
         waiting: List[_Waiting] = []
         running: List[_Running] = []
@@ -1244,25 +1638,71 @@ class ConcurrentExecutor:
                 self._trace("start", w.session, w.task, now)
                 seq += 1
 
+        admission = self._admission
+        start = self.clock.now
+        arrivals = sorted(
+            (s for s in self._sessions if s.arrival_at > start),
+            key=lambda s: (s.arrival_at, s.qid),
+        )
+        ai = 0
+
+        def enter_all(entering: List[QuerySession]) -> None:
+            work = list(entering)
+            while work:
+                s = work.pop(0)
+                s.entered_at = self.clock.now
+                s.queued_seconds = self.clock.now - s.arrival_at
+                submit_next(s)
+                if (s.finished_at is not None and admission is not None
+                        and s.klass == 0):
+                    work.extend(admission.finish(s, self.clock.now))
+
+        def arrive(s: QuerySession) -> None:
+            if admission is None or s.klass != 0:
+                enter_all([s])
+            else:
+                enter_all(admission.arrive(s, self.clock.now))
+
         for session in self._sessions:
-            submit_next(session)
+            if session.arrival_at <= start:
+                arrive(session)
         grant()
 
-        while running:
-            done = min(running, key=lambda r: (r.end, r.seq))
-            running.remove(done)
-            completed.add(done.task.uid)
-            self._complete(done)
-            submit_next(done.session)
-            grant()
+        while running or ai < len(arrivals):
+            done = (min(running, key=lambda r: (r.end, r.seq))
+                    if running else None)
+            if done is not None and (
+                    ai >= len(arrivals)
+                    or done.end <= arrivals[ai].arrival_at):
+                running.remove(done)
+                completed.add(done.task.uid)
+                self._complete(done)
+                submit_next(done.session)
+                if (done.session.finished_at is not None
+                        and admission is not None
+                        and done.session.klass == 0):
+                    enter_all(admission.finish(done.session, self.clock.now))
+                grant()
+            else:
+                t = arrivals[ai].arrival_at
+                self.clock.advance_to(t, "idle")
+                while ai < len(arrivals) and arrivals[ai].arrival_at == t:
+                    arrive(arrivals[ai])
+                    ai += 1
+                grant()
 
         if waiting:  # pragma: no cover - guarded by the acyclic dedup graph
             raise self._deadlock_error(waiting)
+        if admission is not None and admission.queued:  # pragma: no cover
+            raise QueryError(
+                f"admission queue stuck with {admission.queued} session(s) "
+                f"and nothing running"
+            )
 
     def _outcome(self, session: QuerySession) -> QueryOutcome:
         from repro.query.engine import ExecutionResult
 
-        latency = session.finished_at - session.admitted_at
+        latency = session.finished_at - session.arrival_at
         video = session.plan.video_seconds
         return QueryOutcome(
             session=session,

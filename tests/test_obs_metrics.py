@@ -9,6 +9,8 @@ and ``REPRO_OBS_METRICS=0`` must detach it without breaking anything.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.store import VStore
 from repro.obs.metrics import (
@@ -67,6 +69,86 @@ def test_histogram_quantile_capped_at_observed_max():
     # A single sample: every quantile is that sample, not its bucket edge.
     assert h.p50 == pytest.approx(0.37)
     assert h.p99 == pytest.approx(0.37)
+
+
+def test_histogram_quantile_zero_returns_min():
+    """Regression: rank 0 matched the first occupied bucket immediately,
+    so quantile(0.0) reported that bucket's *upper* bound instead of the
+    smallest observation."""
+    h = Histogram("lat")
+    h.observe(0.011)  # sits just above its bucket's lower bound
+    h.observe(0.9)
+    assert h.quantile(0.0) == 0.011
+    assert h.quantile(1.0) == pytest.approx(0.9)
+
+
+def test_histogram_quantiles_clamped_to_min_and_max():
+    h = Histogram("lat")
+    h.observe(0.5)
+    h.observe(0.50001)
+    for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+        got = h.quantile(q)
+        assert h.min <= got <= h.max
+
+
+def test_histogram_quantile_min_clamp_with_underflow_bucket():
+    """Negative observations land in the underflow bucket (reported 0.0)
+    but the q=0 quantile is the honest minimum, and no quantile escapes
+    the observed range."""
+    h = Histogram("delta")
+    h.observe(-2.0)
+    h.observe(-1.0)
+    h.observe(3.0)
+    assert h.quantile(0.0) == -2.0
+    for q in (0.25, 0.5, 0.66):
+        assert -2.0 <= h.quantile(q) <= 3.0
+    assert h.quantile(1.0) == pytest.approx(3.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=40,
+    ),
+    q=st.floats(0.0, 1.0),
+)
+def test_histogram_quantile_clamp_property(values, q):
+    """For any observation set and any quantile, the estimate never
+    escapes [min, max]; q=0 is exactly the min and q=1 exactly the max."""
+    h = Histogram("prop")
+    for v in values:
+        h.observe(v)
+    assert h.min <= h.quantile(q) <= h.max
+    assert h.quantile(0.0) == min(values)
+    assert h.quantile(1.0) == max(values)
+
+
+def test_histogram_bucket_boundary_indexing_is_stable():
+    """Regression: ``ceil(log(v) / LOG_BASE)`` can flip a value sitting
+    exactly on a bucket boundary into the adjacent bucket from float
+    error in ``log``.  The nudge-and-verify index must satisfy the
+    canonical bound function for every boundary value."""
+    import math
+
+    h = Histogram("edges")
+    for k in range(-24, 25):
+        v = h._bucket_upper(k)  # exactly on the boundary of bucket k
+        idx = h._bucket_index(v)
+        assert idx == k, f"boundary value {v!r} (k={k}) landed in {idx}"
+        # And the invariant the exporter's bit-equality rests on:
+        assert h._bucket_upper(idx - 1) < v <= h._bucket_upper(idx)
+
+
+def test_histogram_bucket_index_matches_bounds_for_random_values():
+    import random
+
+    rng = random.Random(1234)
+    h = Histogram("rand")
+    for _ in range(500):
+        v = 10.0 ** rng.uniform(-6, 6)
+        idx = h._bucket_index(v)
+        assert h._bucket_upper(idx - 1) < v <= h._bucket_upper(idx)
 
 
 def test_registry_snapshot_is_deterministic_and_sorted():
