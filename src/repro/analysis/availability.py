@@ -1,0 +1,202 @@
+"""Availability analysis of serving runs under failure campaigns.
+
+The SLO report (:mod:`repro.analysis.slo`) answers "how fast"; this one
+answers the resilience questions a failure campaign raises: did any data
+die (it must not while concurrent failures stay below the replication
+factor), how much slower were the queries that arrived inside the
+impaired window than the ones that arrived outside it, and how long did
+background re-replication take to restore full redundancy.
+
+Impairment windows come from the campaign itself — a shard is impaired
+from its ``fail``/``degrade`` instant until its ``recover`` (or the end
+of the run) — and a query is attributed to the impaired window by its
+*arrival* instant, the open-loop convention every other serving number
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.query.scheduler import QueryOutcome
+from repro.storage.failures import FailureCampaign
+from repro.storage.sharding import ShardedDiskArray
+
+__all__ = [
+    "AvailabilityReport",
+    "availability_report",
+    "format_availability_table",
+    "impairment_windows",
+]
+
+
+def impairment_windows(
+    campaign: FailureCampaign,
+    end: float,
+) -> List[Tuple[float, float, int, str]]:
+    """``(start, stop, shard, action)`` spans the campaign impaired.
+
+    One span per ``fail``/``degrade`` event, closed by that shard's next
+    ``recover`` (or clamped to ``end``).  Spans may overlap across
+    shards; a fail immediately following a degrade of the same shard
+    closes the degrade span.
+    """
+    open_spans: Dict[int, Tuple[float, str]] = {}
+    windows: List[Tuple[float, float, int, str]] = []
+
+    def close(shard: int, t: float) -> None:
+        started = open_spans.pop(shard, None)
+        if started is not None:
+            windows.append((started[0], t, shard, started[1]))
+
+    for event in campaign.events:
+        if event.action == "recover":
+            close(event.shard, event.t)
+        else:
+            close(event.shard, event.t)  # degrade→fail flips the span
+            open_spans[event.shard] = (event.t, event.action)
+    for shard, (t0, action) in sorted(open_spans.items()):
+        windows.append((t0, max(end, t0), shard, action))
+    windows.sort()
+    return windows
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Resilience outcome of one serving run under a failure campaign."""
+
+    replication: int  # the store's replica factor k
+    n_events: int
+    n_failures: int  # "fail" events in the campaign
+    max_concurrent_failures: int  # the campaign's f
+    #: Data loss: keys whose every replica died.  Zero whenever the
+    #: campaign kept ``f < k`` (the property the chaos gate pins).
+    lost_keys: int
+    lost_bytes: float
+    #: Background re-replication outcome.
+    replicas_rebuilt: int
+    rebuilt_bytes: float
+    rebuild_jobs: int
+    #: Simulated instant the last rebuild job finished (``None`` when the
+    #: campaign scheduled none) and the span from the first failure to it.
+    rebuild_done_at: Optional[float]
+    rebuild_seconds: Optional[float]
+    #: Foreground latency inside vs outside the impaired windows,
+    #: attributed by arrival instant.
+    degraded_queries: int
+    healthy_queries: int
+    degraded_mean_latency: float
+    healthy_mean_latency: float
+
+    @property
+    def data_lost(self) -> bool:
+        return self.lost_keys > 0
+
+    @property
+    def degraded_slowdown(self) -> float:
+        """Mean degraded-window latency over mean healthy latency.
+
+        1.0 when either side is empty — no basis for a comparison.
+        """
+        if not self.degraded_queries or not self.healthy_queries:
+            return 1.0
+        if self.healthy_mean_latency <= 0:
+            return 1.0
+        return self.degraded_mean_latency / self.healthy_mean_latency
+
+
+def availability_report(
+    campaign: FailureCampaign,
+    array: ShardedDiskArray,
+    outcomes: Sequence[QueryOutcome],
+    *,
+    end: Optional[float] = None,
+) -> AvailabilityReport:
+    """Roll one served failure campaign up into its resilience numbers.
+
+    ``outcomes`` is the full :meth:`~repro.core.store.VStore.serve`
+    outcome list — foreground queries drive the degraded/healthy latency
+    split, scheduling-class-1 sessions whose plan is a re-replication
+    job (operator ``"rebuild"``) drive the rebuild-time numbers.
+    ``end`` clamps still-open impairment windows (default: the last
+    finish among the outcomes, or the last event time).
+    """
+    fails = campaign.fail_events
+    foreground = [o for o in outcomes if o.session.klass == 0]
+    rebuilds = [
+        o for o in outcomes
+        if o.session.klass == 1
+        and o.session.plan.stages[0].operator == "rebuild"
+    ]
+    if end is None:
+        finishes = [o.session.finished_at for o in outcomes
+                    if o.session.finished_at is not None]
+        last_event = campaign.events[-1].t if len(campaign) else 0.0
+        end = max(finishes + [last_event]) if finishes else last_event
+    windows = impairment_windows(campaign, end)
+
+    def impaired(t: float) -> bool:
+        return any(t0 <= t < t1 for t0, t1, _, _ in windows)
+
+    degraded = [o.latency for o in foreground if impaired(o.session.arrival_at)]
+    healthy = [o.latency for o in foreground
+               if not impaired(o.session.arrival_at)]
+    rebuild_done = (
+        max(o.session.finished_at for o in rebuilds) if rebuilds else None
+    )
+    first_fail = fails[0].t if fails else None
+    rebuild_seconds = (
+        rebuild_done - first_fail
+        if rebuild_done is not None and first_fail is not None else None
+    )
+    lost = array.lost_keys()
+    return AvailabilityReport(
+        replication=array.replication,
+        n_events=len(campaign),
+        n_failures=len(fails),
+        max_concurrent_failures=campaign.max_concurrent_failures(),
+        lost_keys=len(lost),
+        lost_bytes=sum(lost.values()),
+        replicas_rebuilt=array.replicas_rebuilt,
+        rebuilt_bytes=array.rebuilt_bytes,
+        rebuild_jobs=len(rebuilds),
+        rebuild_done_at=rebuild_done,
+        rebuild_seconds=rebuild_seconds,
+        degraded_queries=len(degraded),
+        healthy_queries=len(healthy),
+        degraded_mean_latency=(
+            sum(degraded) / len(degraded) if degraded else 0.0
+        ),
+        healthy_mean_latency=(
+            sum(healthy) / len(healthy) if healthy else 0.0
+        ),
+    )
+
+
+def format_availability_table(report: AvailabilityReport) -> str:
+    """Fixed-width availability summary for the CLI."""
+    lines = [
+        "availability",
+        f"  replication k      {report.replication}",
+        f"  events             {report.n_events} "
+        f"({report.n_failures} fail, peak f={report.max_concurrent_failures})",
+        f"  data lost          "
+        + (f"YES: {report.lost_keys} keys / {report.lost_bytes:.0f} B"
+           if report.data_lost else "no"),
+        f"  replicas rebuilt   {report.replicas_rebuilt} "
+        f"({report.rebuilt_bytes:.0f} B, {report.rebuild_jobs} jobs)",
+    ]
+    if report.rebuild_seconds is not None:
+        lines.append(
+            f"  rebuild window     {report.rebuild_seconds:.3f} s "
+            f"(done at t={report.rebuild_done_at:.3f})"
+        )
+    lines.append(
+        f"  degraded window    {report.degraded_queries} queries, "
+        f"mean {report.degraded_mean_latency:.3f} s "
+        f"(healthy: {report.healthy_queries} @ "
+        f"{report.healthy_mean_latency:.3f} s, "
+        f"slowdown ×{report.degraded_slowdown:.2f})"
+    )
+    return "\n".join(lines)

@@ -73,6 +73,8 @@ def _build_store(args: argparse.Namespace) -> VStore:
     )
     if args.shards < 1:
         raise SystemExit("--shards must be at least 1")
+    if args.replication < 1 or args.replication > args.shards:
+        raise SystemExit("--replication must be between 1 and --shards")
     return VStore(
         workdir=getattr(args, "workdir", None),
         library=library,
@@ -82,6 +84,7 @@ def _build_store(args: argparse.Namespace) -> VStore:
         cache_config=_cache_config(args),
         shards=args.shards,
         placement=args.placement,
+        replication=args.replication,
     )
 
 
@@ -104,6 +107,10 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
                         default="hash",
                         help="shard placement policy (default: hash; only "
                              "meaningful with --shards > 1)")
+    parser.add_argument("--replication", type=int, default=1,
+                        help="replicas per segment on distinct shards "
+                             "(default: 1 = unreplicated; k > 1 survives "
+                             "k-1 concurrent shard failures)")
 
 
 def cmd_configure(args: argparse.Namespace) -> int:
@@ -279,9 +286,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     with store:
         store.configure()
         report = store.serve(tenants, horizon=args.horizon, seed=args.seed,
-                             admission=admission,
+                             admission=admission, failures=args.failures,
                              policy=policies[args.policy](), core=args.core)
         print(format_slo_table(report.slo))
+        if report.availability is not None:
+            from repro.analysis.availability import format_availability_table
+
+            print()
+            print(format_availability_table(report.availability))
         stats = report.stats
         print(f"executor [{stats.core}]: {stats.events} events in "
               f"{stats.total_wall_seconds:.3f}s real "
@@ -415,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-policy", choices=("arrival", "edf", "wfair"),
                    default="arrival",
                    help="admission-queue order (requires --max-in-flight)")
+    p.add_argument("--failures", default=None,
+                   help="failure campaign on the workload timeline, e.g. "
+                        "'fail@10:0,degrade@10:1:8,recover@60:0' "
+                        "(action@t:shard[:factor]); prints an availability "
+                        "report alongside the SLO table")
     p.add_argument("--policy", choices=("fifo", "fair", "edf", "wfair"),
                    default="fifo",
                    help="resource scheduling policy inside the executor")

@@ -62,6 +62,10 @@ class ServeReport:
     outcomes: List["QueryOutcome"]
     slo: "object"  # repro.analysis.slo.SLOReport (import-cycle-free)
     stats: "object"  # repro.query.scheduler.ExecutorStats
+    #: Resilience numbers when the run carried a failure campaign
+    #: (:class:`~repro.analysis.availability.AvailabilityReport`);
+    #: ``None`` for failure-free runs.
+    availability: Optional[object] = None
 
 
 class VStore:
@@ -78,6 +82,7 @@ class VStore:
         cache_config: Optional[CacheConfig] = None,
         shards: int = 1,
         placement: "str | PlacementPolicy" = "hash",
+        replication: int = 1,
     ):
         self.library = library or default_library()
         self.profile_datasets = dict(profile_datasets or DEFAULT_PROFILE_DATASETS)
@@ -90,6 +95,7 @@ class VStore:
         self._closed = False
         self._shards = shards
         self._placement = placement
+        self._replication = replication
         self._cache_config = cache_config
 
         #: Sliding-window demand estimator over executed queries; fed by
@@ -117,8 +123,11 @@ class VStore:
         # pre-sharding single DiskModel; more shards spread segments by
         # ``placement`` ("round-robin" | "hash" | "locality" or a policy
         # instance) and let concurrent retrievals overlap.
+        # ``replication=k`` keeps every segment on k distinct shards, so
+        # the store survives shard failures (see repro.storage.failures).
         self.disk_array = ShardedDiskArray(shards, placement=placement,
-                                           clock=self.clock)
+                                           clock=self.clock,
+                                           replication=replication)
 
         self.workdir = workdir
         self.segments: Optional[SegmentStore] = None
@@ -165,7 +174,8 @@ class VStore:
             self._kv.close()
         self._closed = False
         self.disk_array = ShardedDiskArray(
-            self._shards, placement=self._placement, clock=self.clock
+            self._shards, placement=self._placement, clock=self.clock,
+            replication=self._replication,
         )
         self._kv = KVStore(os.path.join(self.workdir, "segments.vstore"))
         self.segments = SegmentStore(self._kv, self.disk_array)
@@ -329,7 +339,7 @@ class VStore:
         )
 
     def serve(self, tenants, horizon: float, *, seed: object = 0,
-              admission=None, **kwargs):
+              admission=None, failures=None, **kwargs):
         """Serve an open-loop multi-tenant workload against this store.
 
         Builds each tenant's deterministic arrival stream and query mix
@@ -343,10 +353,26 @@ class VStore:
         unset.  Remaining keyword arguments configure the executor
         (``policy``, ``core``, pools — see :meth:`executor`).
 
+        ``failures`` injects a failure campaign into the run: a
+        :class:`~repro.storage.failures.FailureCampaign`, a sequence of
+        :class:`~repro.storage.failures.FailureEvent`, or a CLI-style
+        spec string (``"fail@10:0,recover@60:0"``), with event times on
+        the workload timeline.  Each arrival is planned under the shard
+        health prevailing at its instant — reads route to the fastest
+        surviving replica, degraded shards cost their slowdown factor —
+        queries already in flight when a shard dies complete with their
+        planned reads, and every replica a ``fail`` destroys becomes a
+        background re-replication job (scheduling class 1, arriving at
+        the failure instant) contending with foreground queries for the
+        per-shard I/O channels.
+
         Returns a :class:`ServeReport`: the per-query outcomes, the
         :class:`~repro.analysis.slo.SLOReport` (latency quantiles,
-        deadline-miss rates, tenant fairness, queue-depth timeline) and
-        the run's :class:`~repro.query.scheduler.ExecutorStats`.
+        deadline-miss rates, tenant fairness, queue-depth timeline), the
+        run's :class:`~repro.query.scheduler.ExecutorStats`, and — for
+        campaign runs — the
+        :class:`~repro.analysis.availability.AvailabilityReport`
+        (data-loss check, degraded-window slowdown, rebuild time).
         """
         from dataclasses import replace
 
@@ -365,7 +391,15 @@ class VStore:
                 admission = replace(admission, tenant_weights=weights)
         arrivals = build_workload(tenants, horizon, seed)
         executor = self.executor(admission=admission, **kwargs)
-        self._admit_specs(executor, workload_specs(arrivals))
+        campaign = None
+        if failures is not None:
+            campaign = self._as_campaign(failures)
+            campaign.validate_for(self.disk_array)
+            self._admit_with_failures(
+                executor, workload_specs(arrivals), campaign
+            )
+        else:
+            self._admit_specs(executor, workload_specs(arrivals))
         outcomes = executor.run()
         self.drift.observe_run(outcomes)
         self._observe_run(executor)
@@ -375,7 +409,83 @@ class VStore:
             queue_timeline=executor.admission_timeline,
             makespan=stats.makespan,
         )
-        return ServeReport(outcomes=outcomes, slo=report, stats=stats)
+        availability = None
+        if campaign is not None:
+            from repro.analysis.availability import availability_report
+
+            availability = availability_report(
+                campaign, self.disk_array, outcomes
+            )
+        return ServeReport(outcomes=outcomes, slo=report, stats=stats,
+                           availability=availability)
+
+    @staticmethod
+    def _as_campaign(failures):
+        """Coerce the ``failures`` argument into a FailureCampaign."""
+        from repro.storage.failures import FailureCampaign
+
+        if isinstance(failures, FailureCampaign):
+            return failures
+        if isinstance(failures, str):
+            return FailureCampaign.parse(failures)
+        return FailureCampaign(events=tuple(failures))
+
+    def _admit_with_failures(self, executor, specs, campaign) -> None:
+        """Admit an open-loop workload interleaved with a campaign.
+
+        Plans are fixed at admission, so replica-aware routing has to
+        happen here: walking arrivals and campaign events together in
+        time order applies each health transition to the array *before*
+        planning the queries that arrive after it (events win ties — a
+        query arriving as the shard dies sees it dead).  A ``fail``'s
+        lost replicas become re-replication jobs admitted at the failure
+        instant; the events themselves go onto the executor timeline
+        observationally (:meth:`ConcurrentExecutor.schedule_failures`) —
+        the mutations already happened here, replaying them would
+        double-apply.
+        """
+        from repro.storage.failures import apply_event, rebuild_jobs
+
+        events = list(campaign.events)
+        ei = 0
+
+        def fire_until(t: float) -> None:
+            nonlocal ei
+            while ei < len(events) and events[ei].t <= t:
+                event = events[ei]
+                work = apply_event(self.disk_array, event)
+                if work and self.segments is not None:
+                    for job in rebuild_jobs(self.segments, work):
+                        executor.admit_job(job, arrival=event.t)
+                ei += 1
+
+        for spec in specs:
+            fire_until(float(spec["arrival"]))
+            self._admit_specs(executor, [spec])
+        fire_until(float("inf"))
+        executor.schedule_failures(events)
+
+    def inject_failures(self, failures):
+        """Apply a failure campaign to the storage plane immediately.
+
+        The event times are ignored (everything lands "now"); returns
+        the background re-replication jobs
+        (:class:`~repro.query.scheduler.BackgroundJob`) that would
+        restore full redundancy, for the caller to admit into an
+        executor.  :meth:`serve` with ``failures=`` is the timeline-true
+        flow; this is the direct hook for tests and consoles.
+        """
+        from repro.storage.failures import apply_event, rebuild_jobs
+
+        self._check_open()
+        campaign = self._as_campaign(failures)
+        campaign.validate_for(self.disk_array)
+        jobs = []
+        for event in campaign.events:
+            work = apply_event(self.disk_array, event)
+            if work and self.segments is not None:
+                jobs.extend(rebuild_jobs(self.segments, work))
+        return jobs
 
     def execute_many(self, specs, parallel: Optional[int] = None, **kwargs):
         """Admit and run many queries at once against shared resources.
@@ -430,6 +540,8 @@ class VStore:
         if self.cache is not None:
             executor.metrics.observe_cache(self.cache.stats())
         executor.metrics.observe_disks(self.disk_array)
+        if self._kv is not None:
+            executor.metrics.observe_kvstore(self._kv)
         executor.metrics.observe_drift(self.drift)
 
     def observability(self) -> Observability:

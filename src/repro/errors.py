@@ -25,6 +25,14 @@ class StorageError(VStoreError):
     """The storage backend failed (missing key, corrupt record, ...)."""
 
 
+class ShardFailedError(StorageError):
+    """An I/O operation targeted a shard that is currently failed."""
+
+
+class ReplicaUnavailableError(StorageError):
+    """Every replica of a segment is gone: the data is lost."""
+
+
 class BudgetError(VStoreError):
     """A resource budget cannot be met by any feasible configuration."""
 

@@ -291,7 +291,7 @@ class MetricsRegistry:
         self.gauge("cache.seconds_saved").set(cache_stats.seconds_saved)
 
     def observe_disks(self, disk_array) -> None:
-        """Per-shard busy-seconds gauges from the sharded disk plane."""
+        """Per-shard busy-seconds and health gauges from the disk plane."""
         self.gauge("disk.shards").set(disk_array.n_shards)
         for i in range(disk_array.n_shards):
             self.gauge(f"disk.shard{i}.read_seconds").set(
@@ -300,6 +300,32 @@ class MetricsRegistry:
             self.gauge(f"disk.shard{i}.write_seconds").set(
                 disk_array.busy_write_seconds[i]
             )
+        if not disk_array.healthy or disk_array.failures_injected:
+            # Resilience plane: only materializes once a campaign (or a
+            # direct health flip) touched the array, so failure-free
+            # snapshots keep their pre-existing key set.
+            for i in range(disk_array.n_shards):
+                state = disk_array.shard_state(i)
+                self.gauge(f"disk.shard{i}.failed").set(
+                    1.0 if state == "failed" else 0.0
+                )
+                self.gauge(f"disk.shard{i}.degrade_factor").set(
+                    disk_array.degrade_factor(i)
+                )
+            self.gauge("failures.injected").set(disk_array.failures_injected)
+            lost = disk_array.lost_keys()
+            self.gauge("failures.lost_keys").set(len(lost))
+            self.gauge("failures.lost_bytes").set(sum(lost.values()))
+            self.gauge("failures.replicas_rebuilt").set(
+                disk_array.replicas_rebuilt
+            )
+            self.gauge("failures.rebuilt_bytes").set(disk_array.rebuilt_bytes)
+
+    def observe_kvstore(self, kv) -> None:
+        """Crash-recovery counters from the segment log (reopen repair)."""
+        self.gauge("kv.torn_truncations").set(kv.torn_truncations)
+        self.gauge("kv.dropped_bytes").set(kv.dropped_bytes)
+        self.gauge("kv.recovered_bytes").set(kv.recovered_bytes)
 
     def observe_drift(self, detector) -> None:
         """Drift-detector state after an ``execute_many``."""

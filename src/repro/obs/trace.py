@@ -59,9 +59,15 @@ TRACE_SCHEMA: Tuple[str, ...] = (
     "event", "t", "query", "kind", "operator", "resource", "duration",
 )
 
-#: Task kinds only background evolution jobs emit (foreground queries
-#: emit "retrieve" and "consume") — the job annotation on a span.
-BACKGROUND_KINDS = frozenset({"read", "transcode", "write", "delete"})
+#: Task kinds only background work emits (foreground queries emit
+#: "retrieve" and "consume") — the job annotation on a span.  "read" /
+#: "replicate" are the two halves of a re-replication job; "fail" /
+#: "degrade" / "recover" are the zero-duration shard health transitions
+#: a failure campaign stamps onto the timeline.
+BACKGROUND_KINDS = frozenset({
+    "read", "transcode", "write", "delete",
+    "replicate", "fail", "degrade", "recover",
+})
 
 #: Execution phases a query span decomposes into, in data-path order.
 #: ``plan``/``admit`` happen on the host clock before the simulation

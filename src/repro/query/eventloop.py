@@ -56,8 +56,60 @@ __all__ = [
     "CompletionHeap",
     "DependencyTracker",
     "ReadyHeapIndex",
+    "TimelineCursor",
     "blocked_triples",
 ]
+
+
+class TimelineCursor:
+    """A sorted stream of timestamped exogenous events, consumed in
+    simulated-time order.
+
+    Both executor cores interleave *completions* (endogenous: produced
+    by running tasks) with exogenous timelines — query arrivals and
+    shard failure events.  Each timeline is the same shape: a
+    time-sorted list walked front to back, whose head timestamp is
+    compared against the other streams' heads and whose same-instant
+    entries drain as one batch.  The cursor owns that walk;
+    :meth:`next_t` returns ``+inf`` once drained, so cores ``min()``
+    several cursors against :meth:`CompletionHeap.next_end` without
+    per-stream sentinel bookkeeping.
+
+    ``items`` must already be sorted by ``timestamp`` — the cursor
+    consumes, it does not sort.
+    """
+
+    def __init__(self, items: Iterable[object],
+                 timestamp: Callable[[object], float]) -> None:
+        self._items: List[object] = list(items)
+        self._timestamp = timestamp
+        self._i = 0
+
+    def __len__(self) -> int:
+        """Events not yet consumed."""
+        return len(self._items) - self._i
+
+    def next_t(self) -> float:
+        """The head event's timestamp, or ``+inf`` when drained."""
+        if self._i >= len(self._items):
+            return float("inf")
+        return self._timestamp(self._items[self._i])
+
+    def pop_batch(self) -> List[object]:
+        """Every event sharing the head timestamp, in stream order.
+
+        Same-instant events form one batch so the caller advances the
+        clock once and processes the whole instant in a single pass —
+        the exogenous mirror of :meth:`CompletionHeap.pop_batch`.
+        """
+        items, stamp = self._items, self._timestamp
+        t = stamp(items[self._i])
+        batch = [items[self._i]]
+        self._i += 1
+        while self._i < len(items) and stamp(items[self._i]) == t:
+            batch.append(items[self._i])
+            self._i += 1
+        return batch
 
 
 class CompletionHeap:

@@ -149,6 +149,8 @@ def lower_fleet(executor: "ConcurrentExecutor") -> Optional[_Fleet]:
         return None  # single-flight rewrite / wakeups need the general core
     if executor._admission is not None:
         return None  # open-loop admission control needs the general cores
+    if executor._failure_events:
+        return None  # failure timelines interleave with the general cores
     policy_type = type(executor.policy)
     if policy_type is not FIFOPolicy and policy_type is not DeadlinePolicy:
         return None  # dynamic (or custom) priorities need lazy invalidation

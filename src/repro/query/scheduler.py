@@ -55,6 +55,7 @@ from repro.query.eventloop import (
     CompletionHeap,
     DependencyTracker,
     ReadyHeapIndex,
+    TimelineCursor,
     blocked_triples,
 )
 from repro.storage.disk import DiskBandwidthPool
@@ -927,6 +928,12 @@ class ConcurrentExecutor:
         self._wall_seconds = 0.0
         self._admit_wall_seconds = 0.0
         self._frame_followers: Dict[tuple, int] = {}
+        #: Scheduled shard failure events (:mod:`repro.storage.failures`)
+        #: merged into the run's timeline, and the array (if any) whose
+        #: health they flip at their instants — see
+        #: :meth:`schedule_failures`.
+        self._failure_events: List = []
+        self._failure_array = None
 
     # -- admission ---------------------------------------------------------
 
@@ -1053,7 +1060,8 @@ class ConcurrentExecutor:
         return state
 
     def admit_job(self, job: BackgroundJob,
-                  deadline: Optional[float] = None) -> QuerySession:
+                  deadline: Optional[float] = None, *,
+                  arrival: Optional[float] = None) -> QuerySession:
         """Admit one background evolution job as a low-priority gang.
 
         The job becomes a session in scheduling class 1: its serial task
@@ -1062,11 +1070,21 @@ class ConcurrentExecutor:
         task that fits free capacity is granted first.  ``run()`` returns
         its outcome alongside the queries' (``video_seconds`` is 0, so
         analysis code can tell jobs and queries apart by ``session.klass``).
+
+        ``arrival`` places the job on the simulated timeline the way it
+        does for queries: the run leaves it untouched until the clock
+        reaches that instant.  Re-replication jobs use this to start at
+        the simulated moment their shard failed, not at admit time.
         """
         if self._ran:
             raise QueryError("executor already ran; create a new one")
         if not job.tasks:
             raise QueryError(f"background job {job.name!r} has no tasks")
+        if arrival is not None and arrival < self.clock.now:
+            raise QueryError(
+                f"arrival {arrival} is in the simulated past "
+                f"(clock at {self.clock.now})"
+            )
         wall0 = perf_counter()
         for task in job.tasks:
             pool = self._pools.get(self._resource_name(task))
@@ -1097,11 +1115,76 @@ class ConcurrentExecutor:
             deadline=deadline,
             plan=plan,
             admitted_at=self.clock.now,
+            arrival_at=arrival,
             klass=1,
         )
         self._sessions.append(session)
         self._admit_wall_seconds += perf_counter() - wall0
         return session
+
+    def schedule_failures(self, events, *, array=None) -> None:
+        """Put a failure campaign's events on the run's timeline.
+
+        ``events`` is an iterable of
+        :class:`~repro.storage.failures.FailureEvent` (or a
+        :class:`~repro.storage.failures.FailureCampaign`); the run merges
+        them with arrivals and completions in simulated-time order —
+        completions win ties against an event, events fire before
+        arrivals at the same instant, and trailing events extend the
+        makespan (the clock idles forward to them).  Each event emits a
+        paired zero-duration ``start``/``finish`` trace record under the
+        pseudo-query label ``"failures"``.
+
+        When ``array`` is given (a
+        :class:`~repro.storage.sharding.ShardedDiskArray`), each event's
+        health transition is applied to it at its instant via the
+        idempotent :func:`~repro.storage.failures.apply_event`; rebuild
+        work a mid-run ``fail`` surfaces is the caller's to schedule —
+        jobs cannot be admitted once the run started.  Left ``None``, the
+        events are purely observational (trace + clock), which is how
+        ``VStore.serve`` uses them: the facade already applied the
+        campaign to the array during its planning pass, so replaying the
+        mutations here would double-apply them.
+        """
+        if self._ran:
+            raise QueryError("executor already ran; create a new one")
+        incoming = sorted(events, key=lambda e: e.t)
+        for event in incoming:
+            if event.t < self.clock.now:
+                raise QueryError(
+                    f"failure event at {event.t} is in the simulated past "
+                    f"(clock at {self.clock.now})"
+                )
+        merged = sorted(self._failure_events + incoming, key=lambda e: e.t)
+        self._failure_events = merged
+        if array is not None:
+            self._failure_array = array
+
+    def _apply_failure_event(self, event) -> None:
+        """Fire one scheduled failure event at the current instant.
+
+        Flips the array's health when one was attached
+        (:meth:`schedule_failures`), and emits the paired start/finish
+        trace records either way.  Mid-run rebuild work is dropped here
+        by design — see :meth:`schedule_failures`.
+        """
+        if self._failure_array is not None:
+            from repro.storage.failures import apply_event
+
+            apply_event(self._failure_array, event)
+        t = self.clock.now
+        resource = (
+            f"disk:{event.shard % self._disk_shards}"
+            if self._disk_shards > 1 else "disk"
+        )
+        operator = f"shard{event.shard}"
+        for lifecycle in ("start", "finish"):
+            self._events += 1
+            if self._tracing:
+                self.trace_events.append(task_event(
+                    lifecycle, t, "failures", event.action, operator,
+                    resource, 0.0,
+                ))
 
     @property
     def sessions(self) -> List[QuerySession]:
@@ -1485,11 +1568,11 @@ class ConcurrentExecutor:
 
         admission = self._admission
         start = self.clock.now
-        arrivals = sorted(
-            (s for s in self._sessions if s.arrival_at > start),
-            key=lambda s: (s.arrival_at, s.qid),
+        arrivals = TimelineCursor(
+            sorted((s for s in self._sessions if s.arrival_at > start),
+                   key=lambda s: (s.arrival_at, s.qid)),
+            timestamp=lambda s: s.arrival_at,
         )
-        ai = 0
 
         def enter_all(entering: List[QuerySession], dirty=None) -> None:
             """Admit sessions into the executor proper: stamp their entry,
@@ -1524,14 +1607,21 @@ class ConcurrentExecutor:
         grant()
 
         cache = self.cache
-        while len(completions) or ai < len(arrivals):
-            # Interleave completions with arrivals in simulated-time
-            # order; completions win ties, so work finishing at an
-            # arrival's instant frees capacity before admission runs —
-            # the reference core breaks the same tie the same way.
+        failures = TimelineCursor(self._failure_events,
+                                  timestamp=lambda e: e.t)
+        while len(completions) or len(arrivals) or len(failures):
+            # Interleave completions with arrivals and failure events in
+            # simulated-time order; completions win ties, so work
+            # finishing at an arrival's (or failure's) instant frees
+            # capacity before admission runs — the reference core breaks
+            # the same ties the same way.  Failure events fire before
+            # arrivals at the same instant: a query arriving as the
+            # shard dies sees it dead.
+            next_arrival = arrivals.next_t()
+            next_failure = failures.next_t()
             if len(completions) and (
-                    ai >= len(arrivals)
-                    or completions.next_end() <= arrivals[ai].arrival_at):
+                    completions.next_end()
+                    <= min(next_arrival, next_failure)):
                 for done in completions.pop_batch():
                     self._complete(done)
                     resource = done.task.resource
@@ -1558,13 +1648,18 @@ class ConcurrentExecutor:
                             dirty,
                         )
                     grant(dirty)
+            elif len(failures) and next_failure <= next_arrival:
+                if next_failure > self.clock.now:
+                    self.clock.advance_to(next_failure, "idle")
+                for event in failures.pop_batch():
+                    self._apply_failure_event(event)
+                # A health flip frees no pool capacity and readies no
+                # task, so no grant round is needed.
             else:
-                t = arrivals[ai].arrival_at
-                self.clock.advance_to(t, "idle")
+                self.clock.advance_to(next_arrival, "idle")
                 dirty: set = set()
-                while ai < len(arrivals) and arrivals[ai].arrival_at == t:
-                    arrive(arrivals[ai], dirty)
-                    ai += 1
+                for session in arrivals.pop_batch():
+                    arrive(session, dirty)
                 grant(dirty)
 
         blocked = list(ready.pending()) + deps.parked()
@@ -1640,11 +1735,11 @@ class ConcurrentExecutor:
 
         admission = self._admission
         start = self.clock.now
-        arrivals = sorted(
-            (s for s in self._sessions if s.arrival_at > start),
-            key=lambda s: (s.arrival_at, s.qid),
+        arrivals = TimelineCursor(
+            sorted((s for s in self._sessions if s.arrival_at > start),
+                   key=lambda s: (s.arrival_at, s.qid)),
+            timestamp=lambda s: s.arrival_at,
         )
-        ai = 0
 
         def enter_all(entering: List[QuerySession]) -> None:
             work = list(entering)
@@ -1668,12 +1763,15 @@ class ConcurrentExecutor:
                 arrive(session)
         grant()
 
-        while running or ai < len(arrivals):
+        failures = TimelineCursor(self._failure_events,
+                                  timestamp=lambda e: e.t)
+        while running or len(arrivals) or len(failures):
             done = (min(running, key=lambda r: (r.end, r.seq))
                     if running else None)
+            next_arrival = arrivals.next_t()
+            next_failure = failures.next_t()
             if done is not None and (
-                    ai >= len(arrivals)
-                    or done.end <= arrivals[ai].arrival_at):
+                    done.end <= min(next_arrival, next_failure)):
                 running.remove(done)
                 completed.add(done.task.uid)
                 self._complete(done)
@@ -1683,12 +1781,15 @@ class ConcurrentExecutor:
                         and done.session.klass == 0):
                     enter_all(admission.finish(done.session, self.clock.now))
                 grant()
+            elif len(failures) and next_failure <= next_arrival:
+                if next_failure > self.clock.now:
+                    self.clock.advance_to(next_failure, "idle")
+                for event in failures.pop_batch():
+                    self._apply_failure_event(event)
             else:
-                t = arrivals[ai].arrival_at
-                self.clock.advance_to(t, "idle")
-                while ai < len(arrivals) and arrivals[ai].arrival_at == t:
-                    arrive(arrivals[ai])
-                    ai += 1
+                self.clock.advance_to(next_arrival, "idle")
+                for session in arrivals.pop_batch():
+                    arrive(session)
                 grant()
 
         if waiting:  # pragma: no cover - guarded by the acyclic dedup graph

@@ -38,6 +38,14 @@ class KVStore:
         self.path = path
         self._index: Dict[bytes, Tuple[int, int]] = {}  # key -> (val_off, val_len)
         self._live_bytes = 0
+        #: Recovery counters, accumulated across every index (re)build on
+        #: this handle: how many torn tails were truncated, how many bytes
+        #: each truncation dropped, and how many live bytes the last scan
+        #: recovered — silent log repair made visible (the metrics
+        #: registry exports them, see ``MetricsRegistry.observe_kvstore``).
+        self.torn_truncations = 0
+        self.dropped_bytes = 0
+        self.recovered_bytes = 0
         self._file = open(path, "a+b")
         self._load_index()
 
@@ -85,10 +93,16 @@ class KVStore:
         if offset < size and size - offset < _HEADER.size:
             # Fewer bytes than a header can hold: also a torn tail.
             self._truncate_torn_tail(offset)
+        # Live bytes that survived this scan — alongside the truncation
+        # counters, the "what did recovery keep" half of the story.
+        self.recovered_bytes = self._live_bytes
         self._file.seek(0, os.SEEK_END)
 
     def _truncate_torn_tail(self, offset: int) -> None:
         """Drop a partially written trailing record (crash recovery)."""
+        size = os.fstat(self._file.fileno()).st_size
+        self.torn_truncations += 1
+        self.dropped_bytes += max(0, size - offset)
         self._file.truncate(offset)
         self._file.flush()
 

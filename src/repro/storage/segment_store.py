@@ -204,8 +204,11 @@ class SegmentStore:
             if self.array is not None:
                 # Restore the persisted placement (pre-sharding stores
                 # carry no shard field: everything lived on shard 0).
+                replicas = meta.get("replicas")
                 self.array.adopt(stream, fmt_text, index,
-                                 meta.get("shard", 0), meta["size_bytes"])
+                                 meta.get("shard", 0), meta["size_bytes"],
+                                 replicas=None if replicas is None
+                                 else tuple(replicas))
 
     @staticmethod
     def _key_text(stream: str, fmt_text: str, index: int) -> str:
@@ -250,9 +253,13 @@ class SegmentStore:
                 f"{_META_PREFIX!r} key prefix"
             )
         shard = 0
+        replicas: Tuple[int, ...] = ()
         if self.array is not None:
-            shard = self.array.place(stream, _fmt_key(encoded.fmt), index,
+            fmt_text = _fmt_key(encoded.fmt)
+            shard = self.array.place(stream, fmt_text, index,
                                      encoded.size_bytes, encoded.activity)
+            if self.array.replication > 1:
+                replicas = self.array.replicas(stream, fmt_text, index)
         meta = {
             "size_bytes": encoded.size_bytes,
             "n_frames": encoded.n_frames,
@@ -261,6 +268,8 @@ class SegmentStore:
             "payload": encoded.payload is not None,
             "shard": shard,
         }
+        if len(replicas) > 1:
+            meta["replicas"] = list(replicas)
         if epoch is not None:
             meta["epoch"] = int(epoch)
         blob = json.dumps(meta).encode("utf-8") + _SEPARATOR
@@ -271,7 +280,9 @@ class SegmentStore:
         self.kv.put(key, blob)
         if charge:
             if self.array is not None:
-                self.array.write_at(shard, encoded.size_bytes)
+                # A replicated write pays every copy's spindle.
+                for target in replicas or (shard,):
+                    self.array.write_at(target, encoded.size_bytes)
             else:
                 self.disk.write(encoded.size_bytes)
         self._invalidate_cache(encoded.segment.stream, encoded.segment.index)
@@ -416,18 +427,27 @@ class SegmentStore:
         return 1 if self.array is None else self.array.n_shards
 
     def shard_of(self, stream: str, fmt: StorageFormat, index: int) -> int:
-        """The shard a segment's bytes live on (0 on unsharded stores)."""
+        """The shard a segment's *reads* route to (0 on unsharded stores).
+
+        On a healthy array this is the placed primary.  Under shard
+        failures it is the fastest surviving replica, and a segment whose
+        every replica was destroyed raises
+        :class:`~repro.errors.ReplicaUnavailableError` — the data is gone.
+        """
         if self.array is None:
             return 0
-        shard = self.array.locate(stream, _fmt_key(fmt), index)
+        shard = self.array.effective_read_shard(stream, _fmt_key(fmt), index)
         return 0 if shard is None else shard
 
     def disk_params_for(self, stream: str, fmt: StorageFormat,
                         index: int) -> Tuple[float, float]:
-        """(read bandwidth, request overhead) serving one segment's reads."""
+        """(read bandwidth, request overhead) serving one segment's reads.
+
+        Routes through :meth:`shard_of`, so a degraded shard's factor is
+        folded into the bandwidth and failed shards are bypassed.
+        """
         if self.array is not None:
-            disk = self.array.shard(self.shard_of(stream, fmt, index))
-            return disk.read_bandwidth, disk.request_overhead
+            return self.array.read_params_at(self.shard_of(stream, fmt, index))
         return self.disk.read_bandwidth, self.disk.request_overhead
 
     def commit_move(self, stream: str, fmt_text: str, index: int,
@@ -449,6 +469,31 @@ class SegmentStore:
         meta = json.loads(head.decode("utf-8"))
         self.array.reassign(stream, fmt_text, index, dst)
         meta["shard"] = dst
+        if "replicas" in meta:
+            meta["replicas"] = list(
+                self.array.replicas(stream, fmt_text, index)
+            )
+        self.kv.put(key, json.dumps(meta).encode("utf-8") + _SEPARATOR + body)
+
+    def commit_replica(self, stream: str, fmt_text: str, index: int,
+                       shard: int) -> None:
+        """Record a rebuilt replica and persist it, without charging I/O.
+
+        The background re-replication path: a rebuild job's read and write
+        tasks already paid their time on the executor's channel pools, so
+        when the copy completes only the bookkeeping remains — the array's
+        replica map and the metadata record's shard/replica fields.
+        """
+        if self.array is None:
+            return
+        self.array.add_replica(stream, fmt_text, index, shard)
+        key = self._key_text(stream, fmt_text, index)
+        blob = self.kv.get(key)
+        head, _, body = blob.partition(_SEPARATOR)
+        meta = json.loads(head.decode("utf-8"))
+        replicas = self.array.replicas(stream, fmt_text, index)
+        meta["shard"] = replicas[0]
+        meta["replicas"] = list(replicas)
         self.kv.put(key, json.dumps(meta).encode("utf-8") + _SEPARATOR + body)
 
     def rebalance(self) -> RebalanceReport:
@@ -474,6 +519,10 @@ class SegmentStore:
         seconds = 0.0
         bytes_moved = 0.0
         for (stream, fmt_text, index), src, dst in moves:
+            if dst in array.replicas(stream, fmt_text, index):
+                # Moving the primary onto a shard that already holds a
+                # copy would collapse two replicas into one; skip it.
+                continue
             key = self._key_text(stream, fmt_text, index)
             blob = self.kv.get(key)
             head, _, body = blob.partition(_SEPARATOR)

@@ -29,16 +29,28 @@ charges reads/writes to the assigned shard through this class.
 A one-shard array is bit-identical to the pre-sharding single
 :class:`DiskModel` path — same float operations, same clock categories —
 which the parity tests enforce.
+
+Keys can be stored **k-way replicated** (``replication=k``): the policy's
+:meth:`PlacementPolicy.choose_replicas` picks k *distinct* shards (primary
+first), writes charge every replica's spindle, and reads route to the
+fastest *surviving* replica once shards start failing.  Shard health is
+tracked here too — ``fail_shard`` destroys a shard's replicas (promoting
+surviving copies, recording data loss when none survive),
+``degrade_shard`` slows its reads by a factor, ``recover_shard`` returns
+the (empty) spindle to service — so the failure campaigns in
+:mod:`repro.storage.failures` have one place to flip.  With the default
+``replication=1`` and no health events none of this machinery executes,
+preserving the bit-parity contract above.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.clock import SimClock
-from repro.errors import StorageError
+from repro.errors import ReplicaUnavailableError, ShardFailedError, StorageError
 from repro.storage.disk import DiskModel
 from repro.units import GB
 
@@ -70,6 +82,27 @@ class PlacementPolicy:
     def choose(self, array: "ShardedDiskArray", stream: str, fmt_text: str,
                index: int, nbytes: float, activity: float) -> int:
         raise NotImplementedError
+
+    def choose_replicas(self, array: "ShardedDiskArray", stream: str,
+                        fmt_text: str, index: int, nbytes: float,
+                        activity: float, k: int) -> Tuple[int, ...]:
+        """The k distinct shards a replicated key lands on, primary first.
+
+        The default derivation keeps every policy replica-capable without
+        new code: the primary is whatever :meth:`choose` picks, and the
+        remaining replicas walk the ring from it (skipping failed shards),
+        so replica sets are deterministic and spread across spindles.
+        """
+        primary = self.choose(array, stream, fmt_text, index, nbytes,
+                              activity)
+        replicas = [primary]
+        for step in range(1, array.n_shards):
+            if len(replicas) >= k:
+                break
+            candidate = (primary + step) % array.n_shards
+            if candidate not in replicas and not array.is_failed(candidate):
+                replicas.append(candidate)
+        return tuple(replicas)
 
 
 class RoundRobinPlacement(PlacementPolicy):
@@ -169,6 +202,7 @@ class ShardedDiskArray:
         shards: int = 1,
         *,
         placement: Union[str, PlacementPolicy] = "hash",
+        replication: int = 1,
         clock: Optional[SimClock] = None,
         read_bandwidth: float = 1.0 * GB,
         write_bandwidth: float = 0.8 * GB,
@@ -196,9 +230,26 @@ class ShardedDiskArray:
                 for _ in range(shards)
             ]
         self.placement = placement_named(placement)
+        if not 1 <= replication <= len(self.disks):
+            raise StorageError(
+                f"replication factor {replication} needs between 1 and "
+                f"{len(self.disks)} (the shard count) copies"
+            )
+        self.replication = replication
         # placement state
         self._assignment: Dict[ShardKey, int] = {}
         self._key_bytes: Dict[ShardKey, float] = {}
+        #: replica sets, primary first; only populated for replicated keys,
+        #: so the replication=1 path never touches (or pays for) this map.
+        self._replicas: Dict[ShardKey, Tuple[int, ...]] = {}
+        #: keys whose every replica was destroyed: key -> bytes lost.
+        self._lost: Dict[ShardKey, float] = {}
+        # shard health (empty containers = the bit-parity fast path)
+        self._failed: Set[int] = set()
+        self._degraded: Dict[int, float] = {}
+        self.failures_injected = 0
+        self.replicas_rebuilt = 0
+        self.rebuilt_bytes = 0.0
         self._segment_shard: Dict[Tuple[str, int], int] = {}
         self._segment_formats: Dict[Tuple[str, int], int] = {}
         self._shard_bytes: List[float] = [0.0] * len(self.disks)
@@ -276,13 +327,26 @@ class ShardedDiskArray:
     # -- charged per-shard operations --------------------------------------
 
     def read_at(self, shard: int, n_bytes: float, requests: int = 1) -> float:
-        """Charge a read against one shard (clock category ``"disk"``)."""
+        """Charge a read against one shard (clock category ``"disk"``).
+
+        A degraded shard's read costs its degrade factor extra; a failed
+        shard cannot be read at all.
+        """
+        if shard in self._failed:
+            raise ShardFailedError(f"cannot read from failed shard {shard}")
         seconds = self.disks[shard].read(n_bytes, requests)
+        factor = self._degraded.get(shard)
+        if factor is not None and factor > 1.0:
+            extra = seconds * (factor - 1.0)
+            self.clock.charge(extra, "disk")
+            seconds += extra
         self.busy_read_seconds[shard] += seconds
         return seconds
 
     def write_at(self, shard: int, n_bytes: float, requests: int = 1) -> float:
         """Charge a write against one shard (clock category ``"disk"``)."""
+        if shard in self._failed:
+            raise ShardFailedError(f"cannot write to failed shard {shard}")
         seconds = self.disks[shard].write(n_bytes, requests)
         self.busy_write_seconds[shard] += seconds
         return seconds
@@ -297,6 +361,11 @@ class ShardedDiskArray:
         """
         if n_bytes < 0:
             raise StorageError(f"cannot migrate negative bytes: {n_bytes}")
+        if src in self._failed or dst in self._failed:
+            failed = src if src in self._failed else dst
+            raise ShardFailedError(
+                f"cannot migrate via failed shard {failed}"
+            )
         source, dest = self.disks[src], self.disks[dst]
         read_seconds = (n_bytes / source.read_bandwidth
                         + requests * source.request_overhead)
@@ -328,9 +397,13 @@ class ShardedDiskArray:
         shard = self._assignment.get(key)
         if shard is not None:
             old = self._key_bytes[key]
-            self._shard_bytes[shard] += nbytes - old
+            delta = nbytes - old
+            for replica in self._replicas.get(key, (shard,)):
+                self._shard_bytes[replica] += delta
             self._key_bytes[key] = nbytes
             return shard
+        if self.replication > 1:
+            return self._place_replicated(key, nbytes, activity)
         shard = self.placement.choose(self, stream, fmt_text, index,
                                       nbytes, activity)
         if not 0 <= shard < self.n_shards:
@@ -338,26 +411,101 @@ class ShardedDiskArray:
                 f"placement {self.placement.name!r} chose shard {shard} "
                 f"outside [0, {self.n_shards})"
             )
+        if shard in self._failed:
+            shard = self._healthiest_shard(exclude=())
         self._record(key, shard, nbytes)
         self.placements_made += 1
         return shard
 
+    def _place_replicated(self, key: ShardKey, nbytes: float,
+                          activity: float) -> int:
+        """Place a new key on ``replication`` distinct shards."""
+        stream, fmt_text, index = key
+        replicas = self.placement.choose_replicas(
+            self, stream, fmt_text, index, nbytes, activity, self.replication
+        )
+        if len(set(replicas)) != len(replicas):
+            raise StorageError(
+                f"placement {self.placement.name!r} chose duplicate "
+                f"replicas {replicas!r}"
+            )
+        if any(not 0 <= r < self.n_shards for r in replicas):
+            raise StorageError(
+                f"placement {self.placement.name!r} chose replicas "
+                f"{replicas!r} outside [0, {self.n_shards})"
+            )
+        if replicas and replicas[0] in self._failed:
+            survivors = tuple(r for r in replicas[1:]
+                              if r not in self._failed)
+            try:
+                primary = self._healthiest_shard(exclude=survivors)
+                replicas = (primary,) + survivors
+            except ShardFailedError:
+                if not survivors:
+                    raise
+                # Every healthy shard already serves as a secondary:
+                # promote one instead of refusing the placement.
+                replicas = survivors
+        want = min(self.replication, self.n_shards - len(self._failed))
+        if len(replicas) < want:
+            raise StorageError(
+                f"placement {self.placement.name!r} produced only "
+                f"{len(replicas)} replicas for factor {self.replication}"
+            )
+        self._record(key, replicas[0], nbytes)
+        for replica in replicas[1:]:
+            self._shard_bytes[replica] += nbytes
+            self._shard_keys[replica] += 1
+        self._replicas[key] = tuple(replicas)
+        self.placements_made += 1
+        return replicas[0]
+
+    def _healthiest_shard(self, exclude: Tuple[int, ...]) -> int:
+        """The least-loaded shard that is neither failed nor excluded."""
+        candidates = [
+            i for i in range(self.n_shards)
+            if i not in self._failed and i not in exclude
+        ]
+        if not candidates:
+            raise ShardFailedError(
+                "no surviving shard available for placement"
+            )
+        return min(candidates, key=lambda i: (self._shard_bytes[i], i))
+
     def adopt(self, stream: str, fmt_text: str, index: int,
-              shard: int, nbytes: float) -> int:
+              shard: int, nbytes: float,
+              replicas: Optional[Tuple[int, ...]] = None) -> int:
         """Restore a persisted placement at store open.
 
         A store written on a wider array is folded onto this one
         (``shard % n_shards``), counted in ``folded_placements`` so an
         operator can see that a rebalance (or a wider reopen) is due.
+        ``replicas`` restores a replicated key's full copy set (primary
+        first); folded duplicates collapse to the surviving distinct set.
         """
         if shard >= self.n_shards or shard < 0:
             shard = shard % self.n_shards
             self.folded_placements += 1
-        self._record((stream, fmt_text, index), shard, nbytes)
+        key = (stream, fmt_text, index)
+        self._record(key, shard, nbytes)
         self.placements_made += 1
+        if replicas is not None and len(replicas) > 1:
+            kept = [shard]
+            for replica in replicas:
+                folded = replica % self.n_shards
+                if folded != replica:
+                    self.folded_placements += 1
+                if folded not in kept:
+                    kept.append(folded)
+                    self._shard_bytes[folded] += nbytes
+                    self._shard_keys[folded] += 1
+            if len(kept) > 1:
+                self._replicas[key] = tuple(kept)
         return shard
 
     def _record(self, key: ShardKey, shard: int, nbytes: float) -> None:
+        # Re-placing a key destroyed by failures makes it live again.
+        self._lost.pop(key, None)
         self._assignment[key] = shard
         self._key_bytes[key] = nbytes
         self._shard_bytes[shard] += nbytes
@@ -373,12 +521,14 @@ class ShardedDiskArray:
     def forget(self, stream: str, fmt_text: str, index: int) -> Optional[int]:
         """Drop a key's placement (the segment was deleted)."""
         key = (stream, fmt_text, index)
+        self._lost.pop(key, None)
         shard = self._assignment.pop(key, None)
         if shard is None:
             return None
         nbytes = self._key_bytes.pop(key)
-        self._shard_bytes[shard] -= nbytes
-        self._shard_keys[shard] -= 1
+        for replica in self._replicas.pop(key, (shard,)):
+            self._shard_bytes[replica] -= nbytes
+            self._shard_keys[replica] -= 1
         seg = (key[0], key[2])
         remaining = self._segment_formats.get(seg, 1) - 1
         if remaining <= 0:
@@ -403,6 +553,19 @@ class ShardedDiskArray:
             raise StorageError(f"no such shard: {dst}")
         if dst == src:
             return src
+        if dst in self._failed:
+            raise ShardFailedError(
+                f"cannot reassign {key!r} onto failed shard {dst}"
+            )
+        replicas = self._replicas.get(key)
+        if replicas is not None:
+            if dst in replicas:
+                raise StorageError(
+                    f"shard {dst} already holds a replica of {key!r}"
+                )
+            self._replicas[key] = tuple(
+                dst if r == src else r for r in replicas
+            )
         nbytes = self._key_bytes[key]
         self._shard_bytes[src] -= nbytes
         self._shard_keys[src] -= 1
@@ -413,6 +576,250 @@ class ShardedDiskArray:
         if self._segment_shard.get(seg) == src:
             self._segment_shard[seg] = dst
         return src
+
+    # -- replicas ----------------------------------------------------------
+
+    def replicas(self, stream: str, fmt_text: str, index: int
+                 ) -> Tuple[int, ...]:
+        """Every shard holding a copy of a key, primary first.
+
+        Unreplicated keys return a one-tuple; unplaced keys return ``()``.
+        """
+        key = (stream, fmt_text, index)
+        existing = self._replicas.get(key)
+        if existing is not None:
+            return existing
+        shard = self._assignment.get(key)
+        return () if shard is None else (shard,)
+
+    def replica_assignments(self) -> Dict[ShardKey, Tuple[int, ...]]:
+        """Snapshot of every placed key's full replica set."""
+        return {
+            key: self._replicas.get(key, (shard,))
+            for key, shard in self._assignment.items()
+        }
+
+    def add_replica(self, stream: str, fmt_text: str, index: int,
+                    shard: int) -> None:
+        """Record a freshly copied replica (re-replication bookkeeping).
+
+        Charges nothing — the rebuild I/O runs as executor tasks; this is
+        the ``on_done`` commit that makes the new copy readable.
+        """
+        key = (stream, fmt_text, index)
+        if key not in self._assignment:
+            raise StorageError(f"cannot replicate unplaced key {key!r}")
+        if not 0 <= shard < self.n_shards:
+            raise StorageError(f"no such shard: {shard}")
+        if shard in self._failed:
+            raise ShardFailedError(
+                f"cannot place a replica on failed shard {shard}"
+            )
+        current = self._replicas.get(key, (self._assignment[key],))
+        if shard in current:
+            raise StorageError(
+                f"shard {shard} already holds a replica of {key!r}"
+            )
+        nbytes = self._key_bytes[key]
+        self._shard_bytes[shard] += nbytes
+        self._shard_keys[shard] += 1
+        self._replicas[key] = current + (shard,)
+        self.replicas_rebuilt += 1
+        self.rebuilt_bytes += nbytes
+
+    def drop_replica(self, stream: str, fmt_text: str, index: int,
+                     shard: int) -> None:
+        """Remove one copy of a key (never the last one)."""
+        key = (stream, fmt_text, index)
+        current = self._replicas.get(key, ())
+        if shard not in current:
+            raise StorageError(
+                f"shard {shard} holds no replica of {key!r}"
+            )
+        if len(current) == 1:
+            raise StorageError(
+                f"cannot drop the last replica of {key!r}; use forget()"
+            )
+        nbytes = self._key_bytes[key]
+        self._shard_bytes[shard] -= nbytes
+        self._shard_keys[shard] -= 1
+        survivors = tuple(r for r in current if r != shard)
+        self._replicas[key] = survivors
+        if self._assignment[key] == shard:
+            self._assignment[key] = survivors[0]
+            seg = (key[0], key[2])
+            if self._segment_shard.get(seg) == shard:
+                self._segment_shard[seg] = survivors[0]
+
+    # -- shard health ------------------------------------------------------
+
+    def is_failed(self, shard: int) -> bool:
+        return shard in self._failed
+
+    def shard_state(self, shard: int) -> str:
+        """``"up"``, ``"degraded"`` or ``"failed"``."""
+        if shard in self._failed:
+            return "failed"
+        if shard in self._degraded:
+            return "degraded"
+        return "up"
+
+    def degrade_factor(self, shard: int) -> float:
+        """Read-slowdown multiplier of a shard (1.0 when healthy)."""
+        return self._degraded.get(shard, 1.0)
+
+    @property
+    def failed_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._failed))
+
+    @property
+    def healthy(self) -> bool:
+        """True when no shard is failed or degraded (the fast path)."""
+        return not self._failed and not self._degraded
+
+    def fail_shard(self, shard: int) -> List[Tuple[ShardKey, float, int]]:
+        """A shard crashed: its copies are gone until re-replicated.
+
+        Every replica on the shard is dropped from the bookkeeping.  Keys
+        with surviving copies promote the fastest survivor to primary and
+        are returned as ``(key, bytes, source_shard)`` rebuild work (read
+        the source, write a fresh copy elsewhere); keys whose *last* copy
+        lived here are recorded as lost — subsequent reads raise
+        :class:`~repro.errors.ReplicaUnavailableError`.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise StorageError(f"no such shard: {shard}")
+        if shard in self._failed:
+            return []
+        self._failed.add(shard)
+        self._degraded.pop(shard, None)
+        self.failures_injected += 1
+        rebuild: List[Tuple[ShardKey, float, int]] = []
+        for key in [k for k, s in self._assignment.items()
+                    if shard in self._replicas.get(k, (s,))]:
+            nbytes = self._key_bytes[key]
+            self._shard_bytes[shard] -= nbytes
+            self._shard_keys[shard] -= 1
+            survivors = tuple(
+                r for r in self._replicas.get(key, (self._assignment[key],))
+                if r != shard
+            )
+            if not survivors:
+                # Data loss: the key is gone from the store's bookkeeping
+                # but remembered so reads can say *why* they fail.
+                del self._assignment[key]
+                del self._key_bytes[key]
+                self._replicas.pop(key, None)
+                self._lost[key] = nbytes
+                seg = (key[0], key[2])
+                remaining = self._segment_formats.get(seg, 1) - 1
+                if remaining <= 0:
+                    self._segment_formats.pop(seg, None)
+                    self._segment_shard.pop(seg, None)
+                else:
+                    self._segment_formats[seg] = remaining
+                continue
+            source = self._fastest_shard(survivors)
+            if self._assignment[key] == shard:
+                self._assignment[key] = source
+            seg = (key[0], key[2])
+            if self._segment_shard.get(seg) == shard:
+                self._segment_shard[seg] = source
+            self._replicas[key] = survivors
+            rebuild.append((key, nbytes, source))
+        return rebuild
+
+    def degrade_shard(self, shard: int, factor: float = 4.0) -> None:
+        """Slow a shard's reads by ``factor`` (it stays readable)."""
+        if not 0 <= shard < self.n_shards:
+            raise StorageError(f"no such shard: {shard}")
+        if factor < 1.0:
+            raise StorageError(f"degrade factor must be >= 1: {factor}")
+        if shard in self._failed:
+            raise ShardFailedError(
+                f"shard {shard} is failed; recover it first"
+            )
+        self._degraded[shard] = factor
+        self.failures_injected += 1
+
+    def recover_shard(self, shard: int) -> None:
+        """Return a shard to service.
+
+        A recovered spindle comes back *empty* — replicas destroyed by the
+        failure stay destroyed (re-replication rebuilds them elsewhere) —
+        but it is immediately eligible for new placements and rebuild
+        destinations.  Recovering a degraded shard just clears the factor.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise StorageError(f"no such shard: {shard}")
+        self._failed.discard(shard)
+        self._degraded.pop(shard, None)
+
+    def reset_health(self) -> None:
+        """Clear every failure/degradation flag (bookkeeping unchanged)."""
+        self._failed.clear()
+        self._degraded.clear()
+
+    def lost_keys(self) -> Dict[ShardKey, float]:
+        """Keys destroyed by failures (all replicas gone): key -> bytes."""
+        return dict(self._lost)
+
+    @property
+    def lost_bytes(self) -> float:
+        return sum(self._lost.values())
+
+    def _fastest_shard(self, candidates: Tuple[int, ...]) -> int:
+        """The candidate with the cheapest effective read: bandwidth over
+        degrade factor, ties broken by index."""
+        return min(
+            candidates,
+            key=lambda s: (
+                self._degraded.get(s, 1.0) / self.disks[s].read_bandwidth,
+                s,
+            ),
+        )
+
+    def effective_read_shard(self, stream: str, fmt_text: str,
+                             index: int) -> Optional[int]:
+        """The shard a read of this key should route to *right now*.
+
+        Healthy stores answer the primary (bit-identical to the
+        pre-failure path).  Under failures, reads route to the fastest
+        surviving replica; a key with no surviving copy raises
+        :class:`~repro.errors.ReplicaUnavailableError`.
+        """
+        key = (stream, fmt_text, index)
+        primary = self._assignment.get(key)
+        if primary is None:
+            if key in self._lost:
+                raise ReplicaUnavailableError(
+                    f"all replicas of stream={stream} format={fmt_text} "
+                    f"segment={index} were lost to shard failures"
+                )
+            return None
+        if not self._failed and not self._degraded:
+            return primary
+        survivors = tuple(
+            r for r in self._replicas.get(key, (primary,))
+            if r not in self._failed
+        )
+        if not survivors:
+            raise ShardFailedError(
+                f"every shard holding stream={stream} format={fmt_text} "
+                f"segment={index} is currently failed"
+            )
+        if primary in survivors and primary not in self._degraded:
+            return primary
+        return self._fastest_shard(survivors)
+
+    def read_params_at(self, shard: int) -> Tuple[float, float]:
+        """Effective ``(read_bandwidth, request_overhead)`` of one shard,
+        with any degrade factor folded into the bandwidth."""
+        disk = self.disks[shard]
+        factor = self._degraded.get(shard)
+        if factor is None or factor <= 1.0:
+            return disk.read_bandwidth, disk.request_overhead
+        return disk.read_bandwidth / factor, disk.request_overhead
 
     # -- segment-granularity views (tiering, locality) ---------------------
 

@@ -50,6 +50,57 @@ class TestTornWrites:
             assert kv.get("a") == b"alpha"
 
 
+class TestRecoveryCounters:
+    """Reopen repair is observable: truncations and byte fates counted."""
+
+    def test_clean_open_counts_no_truncations(self, tmp_path):
+        path = str(tmp_path / "kv.log")
+        _fill(path, [("a", b"alpha"), ("b", b"beta")])
+        with KVStore(path) as kv:
+            assert kv.torn_truncations == 0
+            assert kv.dropped_bytes == 0
+            assert kv.recovered_bytes == len(b"alpha") + len(b"beta")
+
+    def test_torn_tail_counters_account_for_the_damage(self, tmp_path):
+        path = str(tmp_path / "kv.log")
+        _fill(path, [("a", b"alpha"), ("b", b"beta" * 100)])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 37)  # tear into the last value
+        with KVStore(path) as kv:
+            assert kv.torn_truncations == 1
+            # The dropped span is the torn record's surviving prefix:
+            # 20-byte header + 1-byte key + 400-byte value, short 37.
+            assert kv.dropped_bytes == 20 + 1 + 400 - 37
+            assert kv.recovered_bytes == len(b"alpha")
+
+    def test_stray_byte_is_counted_as_dropped(self, tmp_path):
+        path = str(tmp_path / "kv.log")
+        _fill(path, [("a", b"alpha")])
+        with open(path, "ab") as f:
+            f.write(b"\x52")
+        with KVStore(path) as kv:
+            assert kv.torn_truncations == 1
+            assert kv.dropped_bytes == 1
+            assert kv.recovered_bytes == len(b"alpha")
+
+    def test_metrics_registry_exposes_recovery_counters(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        path = str(tmp_path / "kv.log")
+        _fill(path, [("a", b"alpha"), ("b", b"beta" * 100)])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 37)
+        with KVStore(path) as kv:
+            registry = MetricsRegistry()
+            registry.observe_kvstore(kv)
+            gauges = registry.snapshot()["gauges"]
+            assert gauges["kv.torn_truncations"] == 1
+            assert gauges["kv.dropped_bytes"] == kv.dropped_bytes
+            assert gauges["kv.recovered_bytes"] == len(b"alpha")
+
+
 class TestBitRot:
     def test_verify_detects_flipped_bit(self, tmp_path):
         path = str(tmp_path / "kv.log")

@@ -14,6 +14,7 @@ Three families of invariants:
 
 import os
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.storage.sharding import (
@@ -169,3 +170,94 @@ def test_rebalance_applied_to_array_matches_plan(placements, n_shards):
         rebuilt[shard] += nbytes
     for i in range(n_shards):
         assert array.shard_bytes[i] == rebuilt[i]
+
+
+# ---------------------------------------------------------------------------
+# Replicated arrays under random fail -> rebuild interleavings
+# ---------------------------------------------------------------------------
+
+# One scripted operation: (op, key index, shard-ish integer).  The shard
+# argument is folded modulo the array size; inapplicable ops are no-ops,
+# so every generated script is valid on every array.
+_fault_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["place", "fail", "recover", "rebuild",
+                         "forget", "reassign", "migrate"]),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+def _check_books(array):
+    """Byte conservation + locate/assignments/replica consistency."""
+    per_shard_bytes = [0.0] * array.n_shards
+    per_shard_keys = [0] * array.n_shards
+    for key, replicas in array.replica_assignments().items():
+        assert replicas, f"{key} placed but replica-less"
+        assert len(set(replicas)) == len(replicas), "duplicate replica shard"
+        assert array.locate(*key) == replicas[0], "primary drifted"
+        nbytes = array.assignments()[key][1]
+        for shard in replicas:
+            per_shard_bytes[shard] += nbytes
+            per_shard_keys[shard] += 1
+    for i in range(array.n_shards):
+        assert array.shard_bytes[i] == pytest.approx(per_shard_bytes[i])
+        assert array.shard_keys[i] == per_shard_keys[i]
+    # A failed shard holds no live replica bookkeeping at all.
+    for i in array.failed_shards:
+        assert per_shard_bytes[i] == 0.0
+        assert per_shard_keys[i] == 0
+
+
+@given(ops=_fault_ops, n_shards=st.integers(min_value=2, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_fail_rebuild_interleavings_keep_books_consistent(ops, n_shards):
+    """reassign/migrate/forget interleaved with shard failures and replica
+    rebuilds conserve bytes and keep locate/assignments consistent."""
+    from repro.errors import ShardFailedError, StorageError
+
+    array = ShardedDiskArray(n_shards, placement="round-robin",
+                             replication=min(2, n_shards))
+    pending = []  # (key, nbytes, source) rebuild work from failures
+    for op, idx, arg in ops:
+        shard = arg % n_shards
+        key = ("cam", "fmt", idx)
+        if op == "place":
+            if len(array.failed_shards) < n_shards:
+                array.place(*key, float((idx + 1) * 10))
+        elif op == "fail":
+            pending.extend(array.fail_shard(shard))
+        elif op == "recover":
+            array.recover_shard(shard)
+        elif op == "rebuild" and pending:
+            wkey, nbytes, _source = pending.pop(0)
+            if array.locate(*wkey) is None:
+                continue  # lost or forgotten in the meantime
+            holders = set(array.replicas(*wkey))
+            dests = [i for i in range(n_shards)
+                     if not array.is_failed(i) and i not in holders]
+            if dests:
+                array.add_replica(*wkey, dests[0])
+        elif op == "forget":
+            array.forget(*key)
+        elif op in ("reassign", "migrate"):
+            src = array.locate(*key)
+            if src is None:
+                continue
+            if shard == src:
+                assert array.reassign(*key, shard) == src  # no-op
+            elif array.is_failed(shard) or shard in array.replicas(*key):
+                with pytest.raises(StorageError):
+                    array.reassign(*key, shard)
+            else:
+                array.reassign(*key, shard)
+        _check_books(array)
+    # End state: no key ever references a failed shard, and total bytes
+    # equal the per-key footprints times their live replica counts.
+    total = sum(
+        array.assignments()[key][1] * len(replicas)
+        for key, replicas in array.replica_assignments().items()
+    )
+    assert sum(array.shard_bytes) == pytest.approx(total)
